@@ -1,0 +1,385 @@
+(* roundelim — command-line interface to the round-elimination engine,
+   the Π_Δ(a,x) family, the lower-bound chains, and the simulator.
+
+   Examples:
+     roundelim show --preset mis --delta 3
+     roundelim show --node "M M M;P O O" --edge "M [PO];O O"
+     roundelim step --preset mis --delta 3 --steps 2
+     roundelim zero-round --preset pi --delta 8 -a 6 -x 1
+     roundelim chain --delta 1024 -k 0 --verify
+     roundelim lemmas --delta 16 -a 10 -x 2
+     roundelim simulate --algo luby --nodes 1000 --max-degree 8 *)
+
+open Cmdliner
+
+let preset_problem preset delta a x node edge =
+  match (preset, node, edge) with
+  | Some "mis", _, _ -> Lcl.Encodings.mis ~delta
+  | Some "so", _, _ -> Lcl.Encodings.sinkless_orientation ~delta
+  | Some "mm", _, _ -> Lcl.Encodings.maximal_matching ~delta
+  | Some "weak2col", _, _ -> Lcl.Encodings.weak_2_coloring ~delta
+  | Some "pi", _, _ -> Core.Family.pi { delta; a; x }
+  | Some "pi-plus", _, _ -> Core.Family.pi_plus { delta; a; x }
+  | Some "r-pi", _, _ -> Core.Family.r_pi_claimed { delta; a; x }
+  | Some other, _, _ ->
+      Printf.ksprintf failwith
+        "unknown preset %s (expected mis|so|mm|weak2col|pi|pi-plus|r-pi)" other
+  | None, Some node, Some edge -> Relim.Parse.problem ~name:"cli" ~node ~edge
+  | None, _, _ ->
+      failwith "provide either --preset or both --node and --edge"
+
+(* ---- common flags ---- *)
+
+let preset_t =
+  Arg.(value & opt (some string) None & info [ "preset"; "p" ] ~doc:"Problem preset: mis, so, mm, weak2col, pi, pi-plus, r-pi.")
+
+let delta_t =
+  Arg.(value & opt int 3 & info [ "delta"; "d" ] ~doc:"Maximum degree / node arity Delta.")
+
+let a_t = Arg.(value & opt int 3 & info [ "a" ] ~doc:"Family parameter a (owned edges).")
+
+let x_t = Arg.(value & opt int 0 & info [ "x" ] ~doc:"Family parameter x (allowed outdegree).")
+
+let node_t =
+  Arg.(value & opt (some string) None & info [ "node" ] ~doc:"Node constraint; configurations separated by ';'.")
+
+let edge_t =
+  Arg.(value & opt (some string) None & info [ "edge" ] ~doc:"Edge constraint; configurations separated by ';'.")
+
+(* ---- show ---- *)
+
+let show preset delta a x node edge diagrams =
+  let p = preset_problem preset delta a x node edge in
+  Format.printf "%a@." Relim.Problem.pp p;
+  if diagrams then begin
+    Format.printf "@.edge diagram:@.%a@." Relim.Diagram.pp
+      (Relim.Diagram.edge_diagram p);
+    Format.printf "@.node diagram:@.%a@." Relim.Diagram.pp
+      (Relim.Diagram.node_diagram p)
+  end
+
+let show_cmd =
+  let diagrams_t =
+    Arg.(value & flag & info [ "diagrams" ] ~doc:"Also print the label-strength diagrams.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a problem and optionally its diagrams")
+    Term.(const show $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ diagrams_t)
+
+(* ---- step ---- *)
+
+let step preset delta a x node edge steps =
+  let p = ref (preset_problem preset delta a x node edge) in
+  Format.printf "%a@." Relim.Problem.pp !p;
+  (try
+     for i = 1 to steps do
+       let { Relim.Rounde.problem = next; _ } = Relim.Rounde.step !p in
+       p := next;
+       Format.printf "@.after speedup step %d (%d labels):@.%a@." i
+         (Relim.Problem.label_count next)
+         Relim.Problem.pp next
+     done
+   with Failure msg -> Format.printf "@.stopped: %s@." msg)
+
+let step_cmd =
+  let steps_t =
+    Arg.(value & opt int 1 & info [ "steps"; "s" ] ~doc:"Number of speedup steps.")
+  in
+  Cmd.v
+    (Cmd.info "step" ~doc:"Apply round-elimination speedup steps (Rbar o R)")
+    Term.(const step $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t)
+
+(* ---- zero-round ---- *)
+
+let zero_round preset delta a x node edge =
+  let p = preset_problem preset delta a x node edge in
+  (match Relim.Zeroround.solvable_mirrored p with
+  | Some w ->
+      Format.printf "0-round solvable under mirrored ports, witness: %s@."
+        (Relim.Multiset.to_string p.alpha w)
+  | None -> Format.printf "NOT 0-round solvable under mirrored ports@.");
+  (match Relim.Zeroround.solvable_arbitrary_ports p with
+  | Some w ->
+      Format.printf "0-round solvable under arbitrary ports, witness: %s@."
+        (Relim.Multiset.to_string p.alpha w)
+  | None -> Format.printf "NOT 0-round solvable under arbitrary ports@.");
+  match Relim.Zeroround.randomized_failure_bound p with
+  | Some b -> Format.printf "randomized 0-round failure probability >= %g@." b
+  | None -> ()
+
+let zero_round_cmd =
+  Cmd.v
+    (Cmd.info "zero-round" ~doc:"Decide 0-round solvability in the PN model")
+    Term.(const zero_round $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t)
+
+(* ---- chain ---- *)
+
+let chain delta k verify =
+  let chain = Core.Sequence.build ~delta ~x0:k in
+  Format.printf "%a@." Core.Sequence.pp_chain chain;
+  Format.printf "port-numbering lower bound for %d-outdegree dominating sets: %d rounds@."
+    k
+    (Core.Sequence.kods_pn_lower_bound ~delta ~k);
+  if verify then begin
+    let check = Core.Sequence.verify chain in
+    Format.printf "mechanical verification of every link: %b@."
+      (Core.Sequence.chain_ok check)
+  end
+
+let chain_cmd =
+  let k_t = Arg.(value & opt int 0 & info [ "k" ] ~doc:"Outdegree bound k (x0 of the chain).") in
+  let verify_t = Arg.(value & flag & info [ "verify" ] ~doc:"Mechanically verify every link.") in
+  Cmd.v
+    (Cmd.info "chain" ~doc:"Build (and verify) the Lemma 13 lower-bound chain")
+    Term.(const chain $ delta_t $ k_t $ verify_t)
+
+(* ---- lemmas ---- *)
+
+let lemmas delta a x concrete =
+  let params = { Core.Family.delta; a; x } in
+  let l6 = Core.Lemma6.verify params in
+  Format.printf "Lemma 6  (R(Pi) has the claimed 8-label form): %b@."
+    (l6.renaming <> None && l6.denotations_match);
+  (match l6.renaming with
+  | Some pairs ->
+      Format.printf "  renaming: %s@."
+        (String.concat ", " (List.map (fun (c, d) -> c ^ " -> " ^ d) pairs))
+  | None -> ());
+  let l8 = Core.Lemma8.verify_symbolic params in
+  Format.printf
+    "Lemma 8  (symbolic certificate): %b  [c1=%b c2=%b c3=%b c4=%b c5=%b m1=%b m2=%b arith=%b rel=%b]@."
+    (Core.Lemma8.all_ok l8) l8.c1 l8.c2 l8.c3 l8.c4 l8.c5 l8.m1 l8.m2
+    l8.arithmetic l8.pi_rel_is_pi_plus;
+  if concrete then begin
+    let r = Core.Lemma8.verify_concrete params in
+    Format.printf
+      "Lemma 8  (full Rbar(R(Pi)) computation): %d configurations, all relax: %b@."
+      r.boxes r.all_relax
+  end;
+  Format.printf "Lemma 12 (not 0-round solvable): %b@."
+    (Core.Zero_round.deterministic_unsolvable params);
+  match Core.Zero_round.randomized_failure_bound params with
+  | Some b -> Format.printf "Lemma 15 (randomized failure bound): %g@." b
+  | None -> Format.printf "Lemma 15: not applicable@."
+
+let lemmas_cmd =
+  let concrete_t =
+    Arg.(value & flag & info [ "concrete" ] ~doc:"Also run the full Rbar(R(Pi)) computation (small Delta only).")
+  in
+  Cmd.v
+    (Cmd.info "lemmas" ~doc:"Run the mechanized lemma verifiers for Pi(Delta, a, x)")
+    Term.(const lemmas $ delta_t $ a_t $ x_t $ concrete_t)
+
+(* ---- simplify ---- *)
+
+let simplify preset delta a x node edge merge_from merge_into =
+  let p = preset_problem preset delta a x node edge in
+  let p =
+    match (merge_from, merge_into) with
+    | Some f, Some i ->
+        Format.printf "merge %s -> %s sound: %b@." f i
+          (Relim.Simplify.merge_is_sound p ~from_:f ~into_:i);
+        Relim.Simplify.merge p ~from_:f ~into_:i
+    | None, None -> Relim.Simplify.merge_equivalent p
+    | _ -> failwith "provide both --merge-from and --merge-into, or neither"
+  in
+  Format.printf "%a@." Relim.Problem.pp (Relim.Simplify.normalize p)
+
+let simplify_cmd =
+  let from_t =
+    Arg.(value & opt (some string) None & info [ "merge-from" ] ~doc:"Label to merge away.")
+  in
+  let into_t =
+    Arg.(value & opt (some string) None & info [ "merge-into" ] ~doc:"Label to merge into.")
+  in
+  Cmd.v
+    (Cmd.info "simplify" ~doc:"Merge labels / drop redundant configurations")
+    Term.(const simplify $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ from_t $ into_t)
+
+(* ---- save / load ---- *)
+
+let save preset delta a x node edge file =
+  let p = preset_problem preset delta a x node edge in
+  let oc = open_out file in
+  output_string oc (Relim.Serialize.to_string p);
+  close_out oc;
+  Format.printf "wrote %s@." file
+
+let save_cmd =
+  let file_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Serialize a problem to a file")
+    Term.(const save $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ file_t)
+
+let load file diagrams =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  let p = Relim.Serialize.of_string contents in
+  Format.printf "%a@." Relim.Problem.pp p;
+  if diagrams then
+    Format.printf "@.edge diagram:@.%a@." Relim.Diagram.pp
+      (Relim.Diagram.edge_diagram p)
+
+let load_cmd =
+  let file_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let diagrams_t = Arg.(value & flag & info [ "diagrams" ] ~doc:"Also print diagrams.") in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load and print a serialized problem")
+    Term.(const load $ file_t $ diagrams_t)
+
+(* ---- upper-bound ---- *)
+
+let upper_bound preset delta a x node edge max_steps =
+  let p = preset_problem preset delta a x node edge in
+  match Relim.Upperbound.search ~max_steps p with
+  | Relim.Upperbound.Solvable_in k ->
+      Format.printf
+        "solvable in %d round(s) in the PN model (on high-girth Delta-regular instances)@."
+        k
+  | Relim.Upperbound.Unknown_after k ->
+      Format.printf "no 0-round problem reached within %d step(s) (budget/blow-up)@." k
+
+let upper_bound_cmd =
+  let steps_t =
+    Arg.(value & opt int 3 & info [ "max-steps" ] ~doc:"Speedup-step budget.")
+  in
+  Cmd.v
+    (Cmd.info "upper-bound" ~doc:"Search for an upper bound by iterated speedup")
+    Term.(const upper_bound $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t)
+
+(* ---- fixed-point ---- *)
+
+let fixed_point preset delta a x node edge max_steps =
+  let p = preset_problem preset delta a x node edge in
+  match Relim.Fixedpoint.detect ~max_steps p with
+  | Relim.Fixedpoint.Fixed_point (p0, _) ->
+      Format.printf "the problem is itself a fixed point of Rbar o R:@.%a@."
+        Relim.Problem.pp p0;
+      Option.iter (Format.printf "=> %s@.")
+        (Relim.Fixedpoint.lower_bound_statement (Relim.Fixedpoint.detect ~max_steps p))
+  | Relim.Fixedpoint.Reaches_fixed_point (steps, fp) ->
+      Format.printf "stabilizes after %d step(s) at:@.%a@." steps
+        Relim.Problem.pp fp;
+      Option.iter (Format.printf "=> %s@.")
+        (Relim.Fixedpoint.lower_bound_statement
+           (Relim.Fixedpoint.Reaches_fixed_point (steps, fp)))
+  | Relim.Fixedpoint.No_fixed_point_found last ->
+      Format.printf "no fixed point within the step budget; last problem (%d labels):@.%a@."
+        (Relim.Problem.label_count last) Relim.Problem.pp last
+
+let fixed_point_cmd =
+  let steps_t =
+    Arg.(value & opt int 4 & info [ "max-steps" ] ~doc:"Speedup-step budget.")
+  in
+  Cmd.v
+    (Cmd.info "fixed-point" ~doc:"Search for a round-elimination fixed point")
+    Term.(const fixed_point $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t)
+
+(* ---- certify ---- *)
+
+let certify delta k n =
+  let cert = Core.Theorem14.certify ~delta ~k in
+  Format.printf "%a@." Core.Theorem14.pp cert;
+  Format.printf "valid: %b@." (Core.Theorem14.valid cert);
+  Format.printf "at n = %g: det >= %.2f, rand >= %.2f rounds@." n
+    (Core.Theorem14.conclusion_det cert ~n)
+    (Core.Theorem14.conclusion_rand cert ~n)
+
+let certify_cmd =
+  let k_t = Arg.(value & opt int 0 & info [ "k" ] ~doc:"Outdegree bound.") in
+  let n_t = Arg.(value & opt float 1e9 & info [ "n" ] ~doc:"Number of nodes for the LOCAL bound.") in
+  Cmd.v
+    (Cmd.info "certify" ~doc:"Assemble and check the Theorem 14 certificate")
+    Term.(const certify $ delta_t $ k_t $ n_t)
+
+(* ---- dot ---- *)
+
+let dot preset delta a x node edge which =
+  let p = preset_problem preset delta a x node edge in
+  match which with
+  | "edge" -> print_string (Relim.Diagram.to_dot ~name:(p.Relim.Problem.name ^ "-edge") (Relim.Diagram.edge_diagram p))
+  | "node" -> print_string (Relim.Diagram.to_dot ~name:(p.Relim.Problem.name ^ "-node") (Relim.Diagram.node_diagram p))
+  | other -> Printf.ksprintf failwith "unknown diagram %s (edge|node)" other
+
+let dot_cmd =
+  let which_t =
+    Arg.(value & opt string "edge" & info [ "which" ] ~doc:"Which diagram: edge or node.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a GraphViz rendering of a label-strength diagram")
+    Term.(const dot $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ which_t)
+
+(* ---- verify-all ---- *)
+
+let verify_all delta k concrete =
+  let report = Core.Paper.verify ~concrete_lemma8:concrete ~delta ~k () in
+  Format.printf "%a@." Core.Paper.pp report;
+  if not (Core.Paper.all_ok report) then exit 1
+
+let verify_all_cmd =
+  let k_t = Arg.(value & opt int 0 & info [ "k" ] ~doc:"Outdegree bound.") in
+  let concrete_t =
+    Arg.(value & flag & info [ "concrete" ] ~doc:"Include the full Rbar(R(Pi)) cross-check.")
+  in
+  Cmd.v
+    (Cmd.info "verify-all" ~doc:"Run the entire mechanized verification at (Delta, k)")
+    Term.(const verify_all $ delta_t $ k_t $ concrete_t)
+
+(* ---- simulate ---- *)
+
+let simulate algo nodes max_degree seed k =
+  let g = Dsgraph.Tree_gen.random ~n:nodes ~max_degree ~seed in
+  let count sel = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 sel in
+  match algo with
+  | "luby" ->
+      let mis, rounds = Distalgo.Luby.run ~seed g in
+      Format.printf "Luby MIS: |S| = %d of %d, %d rounds@." (count mis) nodes rounds
+  | "cv-mis" ->
+      let mis, rounds = Distalgo.Kods.mis_on_tree g ~root:0 in
+      Format.printf "CV + color-iteration MIS: |S| = %d of %d, %d rounds@."
+        (count mis) nodes rounds
+  | "kods" ->
+      let res = Distalgo.Kods.via_arbdefective g ~k in
+      Format.printf
+        "k-outdegree dominating set (k=%d): |S| = %d of %d, %d rounds, palette %d@."
+        k
+        (count res.Distalgo.Kods.selected)
+        nodes res.Distalgo.Kods.rounds res.Distalgo.Kods.palette
+  | other -> Printf.ksprintf failwith "unknown algorithm %s (luby|cv-mis|kods)" other
+
+let simulate_cmd =
+  let algo_t =
+    Arg.(value & opt string "luby" & info [ "algo" ] ~doc:"Algorithm: luby, cv-mis, kods.")
+  in
+  let nodes_t = Arg.(value & opt int 1000 & info [ "nodes"; "n" ] ~doc:"Number of nodes.") in
+  let degree_t = Arg.(value & opt int 8 & info [ "max-degree" ] ~doc:"Maximum degree.") in
+  let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let k_t = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Outdegree bound for kods.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a distributed algorithm on a random tree")
+    Term.(const simulate $ algo_t $ nodes_t $ degree_t $ seed_t $ k_t)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "roundelim" ~version:"1.0.0"
+       ~doc:"Round elimination, the Pi(Delta,a,x) family, and the MIS lower-bound machinery")
+    [
+      show_cmd;
+      step_cmd;
+      zero_round_cmd;
+      chain_cmd;
+      lemmas_cmd;
+      simulate_cmd;
+      fixed_point_cmd;
+      certify_cmd;
+      simplify_cmd;
+      save_cmd;
+      load_cmd;
+      upper_bound_cmd;
+      verify_all_cmd;
+      dot_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

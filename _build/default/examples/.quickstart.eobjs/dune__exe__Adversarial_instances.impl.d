@@ -1,0 +1,1 @@
+examples/adversarial_instances.ml: Array Dsgraph Format Lcl List Localsim Relim

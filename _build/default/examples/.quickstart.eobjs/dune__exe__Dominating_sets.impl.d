@@ -1,0 +1,1 @@
+examples/dominating_sets.ml: Array Core Distalgo Dsgraph Format Lcl List

@@ -1,0 +1,1 @@
+examples/dominating_sets.mli:

@@ -1,0 +1,1 @@
+examples/lower_bound_tour.ml: Array Core Format List Relim String Sys

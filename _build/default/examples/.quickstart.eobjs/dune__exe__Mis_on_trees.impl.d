@@ -1,0 +1,1 @@
+examples/mis_on_trees.ml: Array Core Distalgo Dsgraph Format Lcl List Printf

@@ -1,0 +1,1 @@
+examples/mis_on_trees.mli:

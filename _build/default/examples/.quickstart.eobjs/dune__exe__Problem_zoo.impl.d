@@ -1,0 +1,1 @@
+examples/problem_zoo.ml: Core Diagram Fixedpoint Format Lcl Multiset Parse Problem Relim Zeroround

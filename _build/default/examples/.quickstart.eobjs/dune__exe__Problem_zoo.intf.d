@@ -1,0 +1,1 @@
+examples/problem_zoo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Diagram Format Lcl Multiset Parse Problem Relim Rounde Zeroround

@@ -1,0 +1,59 @@
+(* A zoo of classic locally checkable problems, pushed through every
+   engine feature: diagrams, zero-round deciders, speedup steps,
+   fixed-point search, and label growth.  This is the "taxonomy of
+   Section 1.2" in executable form:
+
+   - trivially 0-round solvable problems stay solvable under speedup;
+   - sinkless orientation is the canonical non-trivial fixed point
+     (Omega(log n));
+   - MIS / maximal matching blow up under naive iteration — the
+     regime where the paper's constant-label family is needed.
+
+   Run with:  dune exec examples/problem_zoo.exe                      *)
+
+open Relim
+
+let classify name (p : Problem.t) =
+  Format.printf "@.--- %s (%d labels, Delta = %d) ---@." name
+    (Problem.label_count p) (Problem.delta p);
+  Format.printf "edge diagram: %a@." Diagram.pp (Diagram.edge_diagram p);
+  (match Zeroround.solvable_arbitrary_ports p with
+  | Some w ->
+      Format.printf "0-round solvable (PN, arbitrary ports): yes, e.g. %s@."
+        (Multiset.to_string p.alpha w)
+  | None ->
+      Format.printf "0-round solvable (PN, arbitrary ports): no@.";
+      (match Zeroround.randomized_failure_bound p with
+      | Some b -> Format.printf "randomized 0-round failure >= %g@." b
+      | None -> ()));
+  (match Fixedpoint.detect ~max_steps:3 p with
+  | Fixedpoint.Fixed_point _ ->
+      Format.printf "speedup: the problem is its own fixed point@."
+  | Fixedpoint.Reaches_fixed_point (steps, fp) ->
+      Format.printf "speedup: stabilizes after %d step(s) at %d labels" steps
+        (Problem.label_count fp);
+      (match Fixedpoint.lower_bound_statement (Fixedpoint.Reaches_fixed_point (steps, fp)) with
+      | Some _ -> Format.printf " — non-trivial fixed point: Omega(log n)!@."
+      | None -> Format.printf " (but 0-round solvable: no bound)@.")
+  | Fixedpoint.No_fixed_point_found last ->
+      Format.printf
+        "speedup: no fixed point within budget; label growth to %d — the blow-up regime@."
+        (Problem.label_count last)
+  | exception Failure _ ->
+      Format.printf "speedup: label budget exhausted — the blow-up regime@.")
+
+let () =
+  Format.printf "The locally checkable problem zoo@.";
+  classify "trivial (everything allowed)"
+    (Parse.problem ~name:"trivial" ~node:"A A A" ~edge:"A A");
+  classify "sinkless orientation" (Lcl.Encodings.sinkless_orientation ~delta:3);
+  classify "MIS" (Lcl.Encodings.mis ~delta:3);
+  classify "maximal matching" (Lcl.Encodings.maximal_matching ~delta:3);
+  classify "weak 2-coloring" (Lcl.Encodings.weak_2_coloring ~delta:3);
+  classify "3-coloring (Delta = 2)" (Lcl.Encodings.coloring ~delta:2 ~colors:3);
+  classify "the paper's Pi(a=3, x=1) at Delta = 4"
+    (Core.Family.pi { Core.Family.delta = 4; a = 3; x = 1 });
+  Format.printf
+    "@.Summary: problems in the blow-up regime are exactly where the paper's@.";
+  Format.printf
+    "constant-label family technique (Sections 1.2 and 3) earns its keep.@."

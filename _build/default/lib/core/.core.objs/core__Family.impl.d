@@ -1,0 +1,1 @@
+lib/core/family.ml: Printf Relim String

@@ -1,0 +1,1 @@
+lib/core/growth.mli: Relim

@@ -1,0 +1,1 @@
+lib/core/kdeg.ml: Array Distalgo Dsgraph Lemma5

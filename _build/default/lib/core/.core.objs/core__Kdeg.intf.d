@@ -1,0 +1,1 @@
+lib/core/kdeg.mli: Dsgraph Lcl

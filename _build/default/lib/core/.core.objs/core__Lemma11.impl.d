@@ -1,0 +1,1 @@
+lib/core/lemma11.ml: Array Family Lcl Relim

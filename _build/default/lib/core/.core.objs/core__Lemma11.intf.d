@@ -1,0 +1,1 @@
+lib/core/lemma11.mli: Family Lcl

@@ -1,0 +1,1 @@
+lib/core/lemma5.ml: Array Dsgraph Family Lcl Localsim Printf Relim

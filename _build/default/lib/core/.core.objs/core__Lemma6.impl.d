@@ -1,0 +1,1 @@
+lib/core/lemma6.ml: Array Family List Relim

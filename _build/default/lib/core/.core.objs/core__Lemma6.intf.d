@@ -1,0 +1,1 @@
+lib/core/lemma6.mli: Family Relim

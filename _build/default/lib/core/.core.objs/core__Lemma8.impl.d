@@ -1,0 +1,1 @@
+lib/core/lemma8.ml: Array Family List Printf Relim

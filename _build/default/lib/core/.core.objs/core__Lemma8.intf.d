@@ -1,0 +1,1 @@
+lib/core/lemma8.mli: Family Relim

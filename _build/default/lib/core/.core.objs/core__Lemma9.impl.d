@@ -1,0 +1,1 @@
+lib/core/lemma9.ml: Array Dsgraph Family Lcl Relim

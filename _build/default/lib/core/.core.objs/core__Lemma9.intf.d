@@ -1,0 +1,1 @@
+lib/core/lemma9.mli: Dsgraph Family Lcl

@@ -1,0 +1,1 @@
+lib/core/paper.ml: Distalgo Dsgraph Family Format Lcl Lemma11 Lemma5 Lemma8 Lemma9 Sequence Theorem14

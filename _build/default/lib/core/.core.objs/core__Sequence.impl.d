@@ -1,0 +1,1 @@
+lib/core/sequence.ml: Family Format Lemma6 Lemma8 List Zero_round

@@ -1,0 +1,1 @@
+lib/core/theorem14.ml: Family Float Format List Relim Sequence

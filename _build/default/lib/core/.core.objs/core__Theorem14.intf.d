@@ -1,0 +1,1 @@
+lib/core/theorem14.mli: Format Sequence

@@ -1,0 +1,114 @@
+type params = { delta : int; a : int; x : int }
+
+let check_params { delta; a; x } =
+  if delta < 1 then invalid_arg "Family: delta must be >= 1";
+  if a < 0 || a > delta then invalid_arg "Family: need 0 <= a <= delta";
+  if x < 0 || x > delta then invalid_arg "Family: need 0 <= x <= delta"
+
+let pi_label_names = [ "M"; "P"; "O"; "A"; "X" ]
+
+let pi ({ delta; a; x } as params) =
+  check_params params;
+  let node =
+    String.concat "\n"
+      [
+        Printf.sprintf "M^%d X^%d" (delta - x) x;
+        Printf.sprintf "A^%d X^%d" a (delta - a);
+        Printf.sprintf "P O^%d" (delta - 1);
+      ]
+  in
+  let edge = "M [PAOX]\nO [MAOX]\nP [MX]\nA [MOX]\nX [MPAOX]" in
+  Relim.Parse.problem
+    ~name:(Printf.sprintf "Pi(Delta=%d,a=%d,x=%d)" delta a x)
+    ~node ~edge
+
+let require_lemma6_range ({ delta; a; x } as params) =
+  check_params params;
+  if not (x + 2 <= a && a <= delta) then
+    invalid_arg "Family: requires x + 2 <= a <= delta"
+
+let pi_plus ({ delta; a; x } as params) =
+  require_lemma6_range params;
+  let node =
+    String.concat "\n"
+      [
+        Printf.sprintf "M^%d X^%d" (delta - x - 1) (x + 1);
+        Printf.sprintf "P O^%d" (delta - 1);
+        Printf.sprintf "A^%d X^%d" (a - x - 1) (delta - a + x + 1);
+        Printf.sprintf "C^%d X^%d" (delta - x) x;
+      ]
+  in
+  (* Edge constraint: the disjunction-method image of R(Π)'s edge
+     constraint {XQ, OB, AU, PM} through Π_rel's set-labels, written in
+     Π⁺'s names (see pi_rel_renaming).  Equivalently: Π's compatibility
+     extended with C ~ {M, A, O, X}. *)
+  let edge =
+    String.concat "\n"
+      [
+        "X [MXPOAC]";
+        "[XO] [MXOAC]";
+        "[XOA] [MXOC]";
+        "[XPOAC] [MX]";
+      ]
+  in
+  Relim.Parse.problem
+    ~name:(Printf.sprintf "Pi+(Delta=%d,a=%d,x=%d)" delta a x)
+    ~node ~edge
+
+let r_pi_claimed ({ delta; a; x } as params) =
+  require_lemma6_range params;
+  let node =
+    String.concat "\n"
+      [
+        Printf.sprintf "[MUBQ]^%d [XMOUABPQ]^%d" (delta - x) x;
+        Printf.sprintf "[PQ] [OUABPQ]^%d" (delta - 1);
+        Printf.sprintf "[ABPQ]^%d [XMOUABPQ]^%d" a (delta - a);
+      ]
+  in
+  let edge = "X Q\nO B\nA U\nP M" in
+  Relim.Parse.problem
+    ~name:(Printf.sprintf "R(Pi)(Delta=%d,a=%d,x=%d)" delta a x)
+    ~node ~edge
+
+let r_pi_denotations =
+  [
+    ("X", [ "X" ]);
+    ("M", [ "M"; "X" ]);
+    ("O", [ "O"; "X" ]);
+    ("U", [ "M"; "O"; "X" ]);
+    ("A", [ "A"; "O"; "X" ]);
+    ("B", [ "M"; "A"; "O"; "X" ]);
+    ("P", [ "P"; "A"; "O"; "X" ]);
+    ("Q", [ "M"; "P"; "A"; "O"; "X" ]);
+  ]
+
+let set_mubq = [ "M"; "U"; "B"; "Q" ]
+
+let set_all = [ "X"; "M"; "O"; "U"; "A"; "B"; "P"; "Q" ]
+
+let set_pq = [ "P"; "Q" ]
+
+let set_ouabpq = [ "O"; "U"; "A"; "B"; "P"; "Q" ]
+
+let set_abpq = [ "A"; "B"; "P"; "Q" ]
+
+let set_ubpq = [ "U"; "B"; "P"; "Q" ]
+
+let pi_rel_node_lines ({ delta; a; x } as params) =
+  require_lemma6_range params;
+  [
+    [ (set_mubq, delta - x - 1); (set_all, x + 1) ];
+    [ (set_pq, 1); (set_ouabpq, delta - 1) ];
+    [ (set_abpq, a - x - 1); (set_all, delta - a + x + 1) ];
+    [ (set_ubpq, delta - x); (set_all, x) ];
+  ]
+
+let pi_rel_renaming =
+  [
+    (set_mubq, "M");
+    (set_all, "X");
+    (set_pq, "P");
+    (set_ouabpq, "O");
+    (set_abpq, "A");
+    (set_ubpq, "C");
+  ]

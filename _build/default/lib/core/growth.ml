@@ -1,0 +1,44 @@
+type size = { labels : int; node_lines : int; edge_lines : int }
+
+type trace = {
+  label_counts : int list;
+  sizes : size list;
+  stopped : [ `Exhausted_budget | `Completed ];
+}
+
+let size_of (p : Relim.Problem.t) =
+  {
+    labels = Relim.Problem.label_count p;
+    node_lines = List.length (Relim.Constr.lines p.node);
+    edge_lines = List.length (Relim.Constr.lines p.edge);
+  }
+
+let naive_iteration ?(steps = 4) ?(max_labels = 40) ?(expand_limit = 2e6) p =
+  let finish acc sizes stopped =
+    { label_counts = List.rev acc; sizes = List.rev sizes; stopped }
+  in
+  let rec go p i acc sizes =
+    if i >= steps then finish acc sizes `Completed
+    else if Relim.Problem.label_count p > max_labels then
+      finish acc sizes `Exhausted_budget
+    else
+      match Relim.Rounde.step ~expand_limit p with
+      | { Relim.Rounde.problem = next; _ } ->
+          go next (i + 1)
+            (Relim.Problem.label_count next :: acc)
+            (size_of next :: sizes)
+      | exception Failure _ -> finish acc sizes `Exhausted_budget
+  in
+  go p 0 [ Relim.Problem.label_count p ] [ size_of p ]
+
+let r_label_counts ?(steps = 4) ?(max_labels = 40) p =
+  let rec go p i acc =
+    if i >= steps || Relim.Problem.label_count p > max_labels then List.rev acc
+    else
+      let { Relim.Rounde.problem = rp; _ } = Relim.Rounde.r p in
+      let acc = Relim.Problem.label_count rp :: acc in
+      match Relim.Rounde.rbar rp with
+      | { Relim.Rounde.problem = next; _ } -> go next (i + 1) acc
+      | exception Failure _ -> List.rev acc
+  in
+  go p 0 []

@@ -1,0 +1,36 @@
+(** The "doubly exponential growth" ablation (Section 1.2).
+
+    The paper's key claim is that a naive application of automatic
+    round elimination to MIS blows up doubly exponentially in the
+    number of labels per step, whereas the Π_Δ(a,x) family keeps every
+    problem in the lower-bound sequence at 5 labels.  This module
+    measures the naive growth with the generic engine. *)
+
+type size = {
+  labels : int;
+  node_lines : int;  (** Condensed configurations in 𝒩. *)
+  edge_lines : int;
+}
+
+type trace = {
+  label_counts : int list;
+      (** Labels of Π, R̄(R(Π)), R̄(R(R̄(R(Π)))), …; the first entry
+          is the input problem's label count. *)
+  sizes : size list;
+      (** Full description sizes along the same sequence. *)
+  stopped : [ `Exhausted_budget | `Completed ];
+      (** [`Exhausted_budget]: the next step exceeded [max_labels] or
+          the expansion limit — evidence of the blow-up. *)
+}
+
+val size_of : Relim.Problem.t -> size
+
+(** [naive_iteration ?steps ?max_labels ?expand_limit p] — iterate the
+    full speedup step [R̄ ∘ R] on [p], recording label counts, until
+    [steps] steps are done or the budget is exhausted. *)
+val naive_iteration :
+  ?steps:int -> ?max_labels:int -> ?expand_limit:float -> Relim.Problem.t -> trace
+
+(** Label count of the R-half alone per step (the intermediate problem
+    R(Π) is the one with ≤ 2^|Σ| labels). *)
+val r_label_counts : ?steps:int -> ?max_labels:int -> Relim.Problem.t -> int list

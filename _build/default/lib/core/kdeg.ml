@@ -1,0 +1,25 @@
+module Graph = Dsgraph.Graph
+module Orientation = Dsgraph.Orientation
+
+let orient_arbitrarily g sel =
+  if Array.length sel <> Graph.n g then
+    invalid_arg "Kdeg.orient_arbitrarily: wrong length";
+  Orientation.make g
+    (Array.init (Graph.m g) (fun e ->
+         let u, v = Graph.endpoints g e in
+         if sel.(u) && sel.(v) then max u v else -1))
+
+let reduction_valid g ~k sel =
+  (not (Dsgraph.Check.is_k_degree_dominating_set g ~k sel))
+  || Dsgraph.Check.is_k_outdegree_dominating_set g ~k sel
+       (orient_arbitrarily g sel)
+
+let pipeline g ~k =
+  let r = Distalgo.Kods.via_defective g ~k in
+  let sel = r.Distalgo.Kods.selected in
+  if not (reduction_valid g ~k sel) then
+    failwith "Kdeg.pipeline: corollary reduction failed";
+  let orientation = orient_arbitrarily g sel in
+  let delta = Graph.max_degree g in
+  let labeling, _ = Lemma5.convert g ~k ~a:delta sel orientation in
+  (labeling, r.Distalgo.Kods.rounds)

@@ -1,0 +1,29 @@
+(** The k-degree dominating set corollary (Section 1.1).
+
+    "The same lower bound of course also holds for the k-degree
+    dominating set problem as a k-degree dominating set can be
+    transformed into a k-outdegree dominating set by orienting the
+    edges in an arbitrary way."
+
+    This module makes that one-line reduction executable: orient the
+    induced edges arbitrarily (0 rounds — each edge's orientation is
+    fixed by, say, endpoint indices, or locally by port/color) and feed
+    the result to the Lemma 5 pipeline. *)
+
+(** [orient_arbitrarily g sel] — orientation of exactly the induced
+    edges of the selected set (head = the endpoint with the larger
+    index; any choice works since the induced degree already bounds the
+    outdegree).
+    @raise Invalid_argument if [sel] has the wrong length. *)
+val orient_arbitrarily : Dsgraph.Graph.t -> bool array -> Dsgraph.Orientation.t
+
+(** [reduction_valid g ~k sel] — mechanical check of the corollary's
+    claim on an instance: if [sel] is a k-degree dominating set then
+    [orient_arbitrarily] makes it a k-outdegree dominating set. *)
+val reduction_valid : Dsgraph.Graph.t -> k:int -> bool array -> bool
+
+(** Full pipeline: k-degree dominating set (from {!Distalgo.Kods})
+    → arbitrary orientation → Lemma 5 labeling of Π_Δ(a, k), validated.
+    Returns the labeling and the selection-stage round count.
+    @raise Failure on validation failure (a bug). *)
+val pipeline : Dsgraph.Graph.t -> k:int -> Lcl.Labeling.t * int

@@ -1,0 +1,49 @@
+let relax ~from_ ~to_ labeling =
+  let { Family.delta; a = a'; x = x' } = from_ in
+  let { Family.delta = delta2; a; x } = to_ in
+  if delta <> delta2 then invalid_arg "Lemma11.relax: different Delta";
+  if not (a <= a' && x >= x') then
+    invalid_arg "Lemma11.relax: requires a <= a' and x >= x'";
+  let src = Family.pi from_ in
+  let m = Relim.Alphabet.find src.alpha "M"
+  and a_lab = Relim.Alphabet.find src.alpha "A"
+  and x_lab = Relim.Alphabet.find src.alpha "X" in
+  let g = labeling.Lcl.Labeling.graph in
+  let labels =
+    Array.map
+      (fun row ->
+        let d = Array.length row in
+        let has l = Array.exists (fun y -> y = l) row in
+        if has m then begin
+          (* M^(Δ-x') X^x' ⟶ M^(Δ-x) X^x: convert x - x' more M's
+             (fewer at the boundary). *)
+          let want_x = min x d in
+          let xs = ref 0 in
+          Array.iter (fun l -> if l = x_lab then incr xs) row;
+          Array.map
+            (fun l ->
+              if l = m && !xs < want_x then begin
+                incr xs;
+                x_lab
+              end
+              else l)
+            row
+        end
+        else if has a_lab then begin
+          (* A^a' X^(Δ-a') ⟶ A^a X^(Δ-a): keep only a A's. *)
+          let kept = ref 0 in
+          Array.map
+            (fun l ->
+              if l = a_lab then
+                if !kept < a then begin
+                  incr kept;
+                  a_lab
+                end
+                else x_lab
+              else l)
+            row
+        end
+        else row)
+      labeling.Lcl.Labeling.labels
+  in
+  Lcl.Labeling.make g labels

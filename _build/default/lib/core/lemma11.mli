@@ -1,0 +1,10 @@
+(** Lemma 11, executable: Π_Δ(a, x) is 0-round solvable given a
+    solution of Π_Δ(a', x') whenever [a ≤ a'] and [x ≥ x'] — relabel
+    surplus M's and A's with X, which is compatible with everything. *)
+
+(** [relax ~from_ ~to_ labeling] — convert a valid Π_Δ(from_) labeling
+    into a Π_Δ(to_) labeling.
+    @raise Invalid_argument unless [to_.a ≤ from_.a], [to_.x ≥ from_.x]
+    and the Δ's agree. *)
+val relax :
+  from_:Family.params -> to_:Family.params -> Lcl.Labeling.t -> Lcl.Labeling.t

@@ -1,0 +1,100 @@
+module Graph = Dsgraph.Graph
+
+type input = { in_set : bool; out_ports : bool array }
+
+type state = {
+  input : input;
+  member_ports : bool array option;  (** Learned in the single round. *)
+}
+
+type message = Member | Non_member
+
+(* Label indices are resolved against a throwaway Π instance: the
+   alphabet of Family.pi does not depend on (a, x). *)
+let alpha = (Family.pi { delta = 2; a = 1; x = 0 }).Relim.Problem.alpha
+
+let label name = Relim.Alphabet.find alpha name
+
+let m_lab = label "M"
+
+let p_lab = label "P"
+
+let o_lab = label "O"
+
+let x_lab = label "X"
+
+let algo ~k : (input, state, message, int array) Localsim.Algo.t =
+  {
+    name = Printf.sprintf "lemma5(k=%d)" k;
+    init = (fun _ctx input -> { input; member_ports = None });
+    send =
+      (fun ctx st ~round:_ ->
+        Array.make ctx.Localsim.Ctx.degree
+          (if st.input.in_set then Member else Non_member));
+    recv =
+      (fun _ctx st ~round:_ inbox ->
+        { st with member_ports = Some (Array.map (fun m -> m = Member) inbox) });
+    output =
+      (fun st ->
+        match st.member_ports with
+        | None -> None
+        | Some member_ports ->
+            let d = Array.length member_ports in
+            if st.input.in_set then begin
+              (* X on out-ports, pad to min(k, d) X's, M elsewhere. *)
+              let row = Array.make d m_lab in
+              let xs = ref 0 in
+              for port = 0 to d - 1 do
+                if st.input.out_ports.(port) then begin
+                  row.(port) <- x_lab;
+                  incr xs
+                end
+              done;
+              let port = ref 0 in
+              while !xs < min k d && !port < d do
+                if row.(!port) = m_lab then begin
+                  row.(!port) <- x_lab;
+                  incr xs
+                end;
+                incr port
+              done;
+              Some row
+            end
+            else begin
+              let row = Array.make d o_lab in
+              let pointed = ref false in
+              for port = 0 to d - 1 do
+                if (not !pointed) && member_ports.(port) then begin
+                  row.(port) <- p_lab;
+                  pointed := true
+                end
+              done;
+              Some row
+            end);
+  }
+
+let convert g ~k ~a selection orientation =
+  if not (Dsgraph.Check.is_k_outdegree_dominating_set g ~k selection orientation)
+  then invalid_arg "Lemma5.convert: not a k-outdegree dominating set";
+  let inputs =
+    Array.init (Graph.n g) (fun v ->
+        let d = Graph.degree g v in
+        let out_ports =
+          Array.init d (fun port ->
+              let e = Graph.edge_id g v port in
+              let u = Graph.neighbor g v port in
+              selection.(v) && selection.(u)
+              && Dsgraph.Orientation.oriented orientation e
+              && orientation.Dsgraph.Orientation.towards.(e) <> v)
+        in
+        { in_set = selection.(v); out_ports })
+  in
+  let result =
+    Localsim.Run.run ~ids:Localsim.Run.Anonymous g ~inputs (algo ~k)
+  in
+  let labeling = Lcl.Labeling.make g result.Localsim.Run.outputs in
+  let delta = Graph.max_degree g in
+  let problem = Family.pi { delta; a; x = k } in
+  if not (Lcl.Labeling.is_valid ~boundary:`Extendable problem labeling) then
+    failwith "Lemma5.convert: labeling fails validation";
+  (labeling, result.Localsim.Run.rounds)

@@ -1,0 +1,39 @@
+(** Lemma 5, executable: given a solution of the k-outdegree dominating
+    set problem, Π_Δ(a, k) is solvable in one communication round, for
+    every [a].
+
+    The distributed algorithm (run on the {!Localsim} executor, in the
+    anonymous port-numbering model): dominating-set members label their
+    out-edges X, pad with further X up to exactly k, and label the rest
+    M; in the single round every node learns which neighbors are
+    members, and each non-member points P at one member and labels its
+    other ports O. *)
+
+type input = {
+  in_set : bool;
+  out_ports : bool array;  (** Member's oriented-outward ports. *)
+}
+
+type state
+
+type message
+
+(** [algo ~k] — output is the node's port labels, as indices into
+    [Family.pi]'s alphabet. *)
+val algo : k:int -> (input, state, message, int array) Localsim.Algo.t
+
+(** [convert g ~k ~a selection orientation] — build the inputs from a
+    verified k-outdegree dominating set, run the algorithm, and return
+    the labeling together with the rounds used (always 1).
+    The labeling is checked against Π_Δ(a, k) with [`Extendable]
+    boundary semantics.
+    @raise Invalid_argument if the selection is not a k-outdegree
+    dominating set.
+    @raise Failure if the produced labeling fails validation (a bug). *)
+val convert :
+  Dsgraph.Graph.t ->
+  k:int ->
+  a:int ->
+  bool array ->
+  Dsgraph.Orientation.t ->
+  Lcl.Labeling.t * int

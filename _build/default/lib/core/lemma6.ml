@@ -1,0 +1,42 @@
+type report = {
+  params : Family.params;
+  computed : Relim.Problem.t;
+  renaming : (string * string) list option;
+  denotations_match : bool;
+}
+
+let denotation_set (alpha : Relim.Alphabet.t) names =
+  List.fold_left
+    (fun acc name -> Relim.Labelset.add (Relim.Alphabet.find alpha name) acc)
+    Relim.Labelset.empty names
+
+let verify params =
+  let pi = Family.pi params in
+  let claimed = Family.r_pi_claimed params in
+  let { Relim.Rounde.problem = computed; denotations } = Relim.Rounde.r pi in
+  match Relim.Iso.find_renaming computed claimed with
+  | None -> { params; computed; renaming = None; denotations_match = false }
+  | Some assoc ->
+      let renaming =
+        List.map
+          (fun (lc, lcl) ->
+            ( Relim.Alphabet.name computed.alpha lc,
+              Relim.Alphabet.name claimed.alpha lcl ))
+          assoc
+      in
+      let denotations_match =
+        List.for_all
+          (fun (lc, lcl) ->
+            let claimed_name = Relim.Alphabet.name claimed.alpha lcl in
+            match List.assoc_opt claimed_name Family.r_pi_denotations with
+            | None -> false
+            | Some names ->
+                Relim.Labelset.equal denotations.(lc)
+                  (denotation_set pi.alpha names))
+          assoc
+      in
+      { params; computed; renaming = Some renaming; denotations_match }
+
+let holds params =
+  let report = verify params in
+  report.renaming <> None && report.denotations_match

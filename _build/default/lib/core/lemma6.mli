@@ -1,0 +1,25 @@
+(** Lemma 6, mechanized: for [x + 2 ≤ a ≤ Δ], the problem
+    [R(Π_Δ(a,x))] equals — after the paper's renaming — the 8-label
+    problem {!Family.r_pi_claimed}.
+
+    The verifier computes [R(Π_Δ(a,x))] with the generic engine
+    ({!Relim.Rounde.r}, which is cheap for any Δ since it never expands
+    the node constraint), searches for a label bijection onto the
+    claimed problem, and additionally checks that the bijection carries
+    the computed Galois denotations onto the paper's renaming table
+    (e.g. the computed label denoting [{M,O,X}] must map to the claimed
+    label [U]). *)
+
+type report = {
+  params : Family.params;
+  computed : Relim.Problem.t;  (** The engine's [R(Π_Δ(a,x))]. *)
+  renaming : (string * string) list option;
+      (** Computed-label name ↦ claimed-label name, when found. *)
+  denotations_match : bool;
+      (** The bijection agrees with {!Family.r_pi_denotations}. *)
+}
+
+val verify : Family.params -> report
+
+(** Both the isomorphism and the denotation table check out. *)
+val holds : Family.params -> bool

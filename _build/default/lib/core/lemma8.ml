@@ -1,0 +1,217 @@
+module R = Relim
+
+type symbolic_report = {
+  c1 : bool;
+  c2 : bool;
+  c3 : bool;
+  c4 : bool;
+  c5 : bool;
+  m1 : bool;
+  m2 : bool;
+  arithmetic : bool;
+  pi_rel_is_pi_plus : bool;
+}
+
+let all_ok r =
+  r.c1 && r.c2 && r.c3 && r.c4 && r.c5 && r.m1 && r.m2 && r.arithmetic
+  && r.pi_rel_is_pi_plus
+
+let names_set alpha names =
+  List.fold_left
+    (fun acc n -> R.Labelset.add (R.Alphabet.find alpha n) acc)
+    R.Labelset.empty names
+
+(* --- Π_rel as a 6-label problem, and its comparison with Π⁺ -------- *)
+
+let pi_rel_problem params =
+  let claimed = Family.r_pi_claimed params in
+  let rel_sets = List.map fst Family.pi_rel_renaming in
+  let rel_names = List.map snd Family.pi_rel_renaming in
+  let alpha = R.Alphabet.create rel_names in
+  let index_of_set set =
+    let rec go i = function
+      | [] -> invalid_arg "Lemma8.pi_rel_problem: unknown set"
+      | s :: rest ->
+          if List.sort compare s = List.sort compare set then i else go (i + 1) rest
+    in
+    go 0 rel_sets
+  in
+  let node_lines =
+    List.map
+      (fun line ->
+        R.Line.make
+          (List.map
+             (fun (set, count) ->
+               (R.Labelset.singleton (index_of_set set), count))
+             line))
+      (Family.pi_rel_node_lines params)
+  in
+  (* Disjunction method: in each edge configuration of R(Π), replace
+     every label y by the disjunction of the Π_rel labels whose
+     denotation contains y. *)
+  let denot =
+    Array.of_list (List.map (fun set -> names_set claimed.alpha set) rel_sets)
+  in
+  let replace claimed_label =
+    let acc = ref R.Labelset.empty in
+    Array.iteri
+      (fun i d -> if R.Labelset.mem claimed_label d then acc := R.Labelset.add i !acc)
+      denot;
+    !acc
+  in
+  let edge_lines =
+    List.map
+      (fun line -> R.Line.map_syms (fun s -> R.Labelset.fold (fun l acc -> R.Labelset.union (replace l) acc) s R.Labelset.empty) line)
+      (R.Constr.lines claimed.edge)
+  in
+  R.Problem.make
+    ~name:
+      (Printf.sprintf "Pi_rel(Delta=%d,a=%d,x=%d)" params.Family.delta
+         params.Family.a params.Family.x)
+    ~alpha
+    ~node:(R.Constr.make node_lines)
+    ~edge:(R.Constr.make edge_lines)
+
+(* Equality of two problems under the name-preserving label mapping. *)
+let equal_by_names (a : R.Problem.t) (b : R.Problem.t) =
+  if R.Alphabet.size a.alpha <> R.Alphabet.size b.alpha then false
+  else
+    match
+      List.map
+        (fun la -> R.Alphabet.find b.alpha (R.Alphabet.name a.alpha la))
+        (R.Alphabet.labels a.alpha)
+    with
+    | mapping_list ->
+        let mapping = Array.of_list mapping_list in
+        let remap_set s =
+          R.Labelset.fold
+            (fun l acc -> R.Labelset.add mapping.(l) acc)
+            s R.Labelset.empty
+        in
+        let remap = R.Constr.map_lines (R.Line.map_syms remap_set) in
+        R.Constr.equal (remap a.node) b.node && R.Constr.equal (remap a.edge) b.edge
+    | exception Not_found -> false
+
+let pi_rel_matches_pi_plus params =
+  equal_by_names (pi_rel_problem params) (Family.pi_plus params)
+
+(* --- existence of an allowed configuration with given label lower
+       bounds ------------------------------------------------------- *)
+
+let exists_config_with_at_least (constr : R.Constr.t) ~delta requirements =
+  let total_required = List.fold_left (fun acc (_, c) -> acc + c) 0 requirements in
+  if total_required > delta then false
+  else
+    let slack = delta - total_required in
+    let labels = Array.of_list (List.map fst requirements) in
+    let supply = Array.of_list (List.map snd requirements @ [ slack ]) in
+    let n_real = Array.length labels in
+    List.exists
+      (fun line ->
+        let groups = Array.of_list (R.Line.groups line) in
+        R.Util.transport_feasible ~supply
+          ~demand:(Array.map snd groups)
+          ~allowed:(fun i j ->
+            i = n_real || R.Labelset.mem labels.(i) (fst groups.(j))))
+      (R.Constr.lines constr)
+
+(* --- symbolic verifier ------------------------------------------- *)
+
+let verify_symbolic ({ Family.delta; a; x } as params) =
+  let claimed = Family.r_pi_claimed params in
+  let alpha = claimed.alpha in
+  let l name = R.Alphabet.find alpha name in
+  let diagram = R.Diagram.node_diagram claimed in
+  let rc = R.Diagram.right_closed_sets diagram in
+  let subset s names = R.Labelset.subset s (names_set alpha names) in
+  let has s name = R.Labelset.mem (l name) s in
+  let forall_rc f = List.for_all f rc in
+  let c1 = forall_rc (fun s -> has s "P" || subset s [ "M"; "U"; "B"; "Q" ]) in
+  let c2 = forall_rc (fun s -> has s "U" || subset s [ "A"; "B"; "P"; "Q" ]) in
+  let c3 = forall_rc (fun s -> has s "M" || not (has s "X")) in
+  let ouabpq = [ "O"; "U"; "A"; "B"; "P"; "Q" ] in
+  let c4 =
+    forall_rc (fun s ->
+        (not (subset s ouabpq)) || has s "B" || subset s [ "P"; "Q" ])
+  in
+  let c5 =
+    forall_rc (fun s ->
+        (not (subset s ouabpq)) || has s "A" || subset s [ "U"; "B"; "P"; "Q" ])
+  in
+  let m1 =
+    not
+      (exists_config_with_at_least claimed.node ~delta
+         [ (l "M", 1); (l "P", x + 1); (l "U", delta - a) ])
+  in
+  let m2 =
+    not
+      (exists_config_with_at_least claimed.node ~delta
+         [ (l "A", x + 1); (l "U", delta - a + 1); (l "B", a - x - 2) ])
+  in
+  let arithmetic =
+    1 + (x + 1) + (delta - a) <= delta
+    && x + 1 + (delta - a + 1) <= delta
+    && a - x - 2 >= 0
+  in
+  {
+    c1;
+    c2;
+    c3;
+    c4;
+    c5;
+    m1;
+    m2;
+    arithmetic;
+    pi_rel_is_pi_plus = pi_rel_matches_pi_plus params;
+  }
+
+(* --- concrete verifier ------------------------------------------- *)
+
+type concrete_report = {
+  boxes : int;
+  all_relax : bool;
+  pi_rel_is_pi_plus_c : bool;
+}
+
+let verify_concrete ?(expand_limit = 2e6) params =
+  let claimed = Family.r_pi_claimed params in
+  let { R.Rounde.problem = after; denotations } =
+    R.Rounde.rbar ~expand_limit claimed
+  in
+  let targets =
+    List.map
+      (fun line ->
+        List.map
+          (fun (set, count) -> (names_set claimed.alpha set, count))
+          line)
+      (Family.pi_rel_node_lines params)
+  in
+  let box_relaxes box_sets =
+    List.exists
+      (fun target ->
+        let t = Array.of_list target in
+        let b = Array.of_list box_sets in
+        R.Util.transport_feasible
+          ~supply:(Array.map (fun _ -> 1) b)
+          ~demand:(Array.map snd t)
+          ~allowed:(fun i j -> R.Labelset.subset b.(i) (fst t.(j))))
+      targets
+  in
+  let node_lines = R.Constr.lines after.node in
+  let all_relax =
+    List.for_all
+      (fun line ->
+        match R.Line.to_multiset line with
+        | None -> false
+        | Some m ->
+            let sets =
+              List.map (fun lab -> denotations.(lab)) (R.Multiset.to_list m)
+            in
+            box_relaxes sets)
+      node_lines
+  in
+  {
+    boxes = List.length node_lines;
+    all_relax;
+    pi_rel_is_pi_plus_c = pi_rel_matches_pi_plus params;
+  }

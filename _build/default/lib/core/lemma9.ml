@@ -1,0 +1,130 @@
+module Graph = Dsgraph.Graph
+
+let target_a ~a ~x = (a - (2 * x) - 1) / 2
+
+let threshold ~a = (a - 1) / 2
+
+let find alpha name = Relim.Alphabet.find alpha name
+
+(* Classify a node of a Π⁺ labeling by the labels it uses.  In Π⁺ the
+   configurations are {M,X}, {P,O}, {A,X}, {C,X}, so the presence of a
+   non-X label identifies the configuration; all-X nodes are boundary
+   truncations compatible with any of the M/A/C shapes and are left
+   unchanged. *)
+type node_kind = M_node | P_node | A_node | C_node | X_only
+
+let classify row ~m ~p ~o ~a_lab ~c =
+  let has l = Array.exists (fun x -> x = l) row in
+  if has c then C_node
+  else if has a_lab then A_node
+  else if has m then M_node
+  else if has p || has o then P_node
+  else X_only
+
+let convert ({ Family.delta = _; a; x } as params) g edge_colors labeling =
+  if (2 * x) + 1 > a then invalid_arg "Lemma9.convert: requires 2x + 1 <= a";
+  let plus = Family.pi_plus params in
+  let m = find plus.alpha "M"
+  and p = find plus.alpha "P"
+  and o = find plus.alpha "O"
+  and a_lab = find plus.alpha "A"
+  and x_lab = find plus.alpha "X"
+  and c = find plus.alpha "C" in
+  let a' = target_a ~a ~x in
+  let low_colors = threshold ~a in
+  let target =
+    Family.pi { params with Family.a = a'; x = x + 1 }
+  in
+  let m' = find target.alpha "M"
+  and p' = find target.alpha "P"
+  and o' = find target.alpha "O"
+  and a'_lab = find target.alpha "A"
+  and x'_lab = find target.alpha "X" in
+  let translate l =
+    if l = m then m'
+    else if l = p then p'
+    else if l = o then o'
+    else if l = a_lab then a'_lab
+    else if l = x_lab then x'_lab
+    else invalid_arg "Lemma9.convert: residual C label"
+  in
+  if Array.length labeling.Lcl.Labeling.labels <> Graph.n g then
+    invalid_arg "Lemma9.convert: labeling/graph mismatch";
+  let labels =
+    Array.init (Graph.n g) (fun v ->
+        let row = labeling.Lcl.Labeling.labels.(v) in
+        let d = Graph.degree g v in
+        let color port = edge_colors.(Graph.edge_id g v port) in
+        match classify row ~m ~p ~o ~a_lab ~c with
+        | M_node | P_node | X_only -> Array.map translate row
+        | A_node ->
+            (* Drop the A's on low colors, then keep only the first a'
+               surviving A's. *)
+            let kept = ref 0 in
+            Array.mapi
+              (fun port l ->
+                if l <> a_lab then translate l
+                else if color port < low_colors then x'_lab
+                else if !kept < a' then begin
+                  incr kept;
+                  a'_lab
+                end
+                else x'_lab)
+              row
+        | C_node ->
+            (* Promote C's on low colors to A, up to a'; everything
+               else becomes X. *)
+            let promoted = ref 0 in
+            Array.init d (fun port ->
+                let l = row.(port) in
+                if l = c && color port < low_colors && !promoted < a' then begin
+                  incr promoted;
+                  a'_lab
+                end
+                else if l = c then x'_lab
+                else translate l))
+  in
+  Lcl.Labeling.make g labels
+
+let pi_to_pi_plus ({ Family.delta = _; a; x } as params) labeling =
+  if x + 2 > a then invalid_arg "Lemma9.pi_to_pi_plus: requires x + 2 <= a";
+  let src = Family.pi params in
+  let dst = Family.pi_plus params in
+  let m = find src.alpha "M"
+  and a_lab = find src.alpha "A"
+  and x_lab = find src.alpha "X" in
+  let tr l = find dst.alpha (Relim.Alphabet.name src.alpha l) in
+  let g = labeling.Lcl.Labeling.graph in
+  let labels =
+    Array.init (Graph.n g) (fun v ->
+        let row = labeling.Lcl.Labeling.labels.(v) in
+        let has l = Array.exists (fun y -> y = l) row in
+        if has m then begin
+          (* Turn one M into X: M^(Δ-x) X^x ⟶ M^(Δ-x-1) X^(x+1). *)
+          let done_ = ref false in
+          Array.map
+            (fun l ->
+              if l = m && not !done_ then begin
+                done_ := true;
+                tr x_lab
+              end
+              else tr l)
+            row
+        end
+        else if has a_lab then begin
+          (* Keep only a - x - 1 of the A's. *)
+          let kept = ref 0 in
+          Array.map
+            (fun l ->
+              if l = a_lab then
+                if !kept < a - x - 1 then begin
+                  incr kept;
+                  tr a_lab
+                end
+                else tr x_lab
+              else tr l)
+            row
+        end
+        else Array.map tr row)
+  in
+  Lcl.Labeling.make g labels

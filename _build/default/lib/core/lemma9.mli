@@ -1,0 +1,40 @@
+(** Lemma 9, executable: given a Δ-edge coloring, any solution of
+    Π⁺_Δ(a,x) converts — in zero rounds — into a solution of
+    Π_Δ(⌊(a-2x-1)/2⌋, x+1), for [2x + 1 ≤ a ≤ Δ].
+
+    The conversion is where the paper's novel use of the input edge
+    coloring lives: nodes labeled with the C-configuration turn the C's
+    on low-colored edges into A's, while original A-nodes vacate
+    exactly those colors — so the forbidden AA pair can never arise,
+    without any communication.
+
+    Colors are 0-based here: the paper's color set {1 .. ⌊(a-1)/2⌋}
+    becomes {0 .. ⌊(a-1)/2⌋ - 1}, i.e. [color < threshold ~a]. *)
+
+(** ⌊(a-2x-1)/2⌋, the owned-edge requirement after conversion. *)
+val target_a : a:int -> x:int -> int
+
+(** ⌊(a-1)/2⌋: number of low colors vacated by A-nodes. *)
+val threshold : a:int -> int
+
+(** [convert params g edge_colors labeling] — apply the node-local
+    rewriting.  [labeling] must be a valid Π⁺_Δ(a,x) labeling; the
+    result is a labeling in Π_Δ(target_a, x+1)'s alphabet.  Nodes of
+    degree Δ are guaranteed valid by the lemma; boundary nodes (degree
+    < Δ, an artifact of finite trees) are rewritten best-effort and
+    should be checked with the [`Free] boundary mode.
+    @raise Invalid_argument if [2x + 1 > a] or shapes mismatch. *)
+val convert :
+  Family.params ->
+  Dsgraph.Graph.t ->
+  int array ->
+  Lcl.Labeling.t ->
+  Lcl.Labeling.t
+
+(** [pi_to_pi_plus params labeling] — the easy embedding used to chain
+    conversions on concrete instances: a Π_Δ(a,x) solution is turned
+    into a Π⁺_Δ(a,x) solution by padding one extra X at M-nodes and
+    trimming A-nodes from [a] to [a-x-1] owned edges (X is compatible
+    with everything, so no edge constraint can break).
+    @raise Invalid_argument if [x + 2 > a]. *)
+val pi_to_pi_plus : Family.params -> Lcl.Labeling.t -> Lcl.Labeling.t

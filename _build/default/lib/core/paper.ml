@@ -1,0 +1,88 @@
+module Graph = Dsgraph.Graph
+
+type report = {
+  delta : int;
+  k : int;
+  chain_length : int;
+  chain_verified : bool;
+  theorem14_valid : bool;
+  constructive_pipeline_ok : bool;
+  lemma8_concrete_ok : bool option;
+}
+
+let constructive_check ~delta ~k =
+  (* A tree wide enough to have interior nodes of degree delta, small
+     enough to stay fast: depth 2. *)
+  let delta = max delta 3 in
+  let delta = min delta 32 in
+  let g = Dsgraph.Tree_gen.balanced ~delta ~depth:2 in
+  let d = Graph.max_degree g in
+  let k = min k (d - 2) in
+  let k = max k 0 in
+  if 2 * k + 1 > d then true (* Lemma 9 range empty; nothing to exercise *)
+  else begin
+    let r = Distalgo.Kods.via_arbdefective g ~k in
+    let labeling, rounds =
+      Lemma5.convert g ~k ~a:d r.Distalgo.Kods.selected
+        r.Distalgo.Kods.orientation
+    in
+    let p0 = { Family.delta = d; a = d; x = k } in
+    let colors = Dsgraph.Edge_coloring.color_tree g in
+    let plus = Lemma9.pi_to_pi_plus p0 labeling in
+    let ok_plus =
+      Lcl.Labeling.is_valid ~boundary:`Free (Family.pi_plus p0) plus
+    in
+    let converted = Lemma9.convert p0 g colors plus in
+    let mid = { p0 with Family.a = Lemma9.target_a ~a:d ~x:k; x = k + 1 } in
+    let ok_mid =
+      Lcl.Labeling.is_valid ~boundary:`Free (Family.pi mid) converted
+    in
+    let ok_relax =
+      if mid.Family.a >= 1 then begin
+        let target = { mid with Family.a = max 1 (mid.Family.a / 2) } in
+        let relaxed = Lemma11.relax ~from_:mid ~to_:target converted in
+        Lcl.Labeling.is_valid ~boundary:`Free (Family.pi target) relaxed
+      end
+      else true
+    in
+    rounds = 1 && ok_plus && ok_mid && ok_relax
+  end
+
+let verify ?(concrete_lemma8 = false) ~delta ~k () =
+  let chain = Sequence.build ~delta ~x0:k in
+  let check = Sequence.verify chain in
+  let cert = Theorem14.certify ~delta ~k in
+  {
+    delta;
+    k;
+    chain_length = Sequence.length chain;
+    chain_verified = Sequence.chain_ok check;
+    theorem14_valid = Theorem14.valid cert;
+    constructive_pipeline_ok = constructive_check ~delta ~k;
+    lemma8_concrete_ok =
+      (if concrete_lemma8 then
+         Some
+           (let r = Lemma8.verify_concrete { Family.delta = 4; a = 3; x = 1 } in
+            r.Lemma8.all_relax && r.Lemma8.pi_rel_is_pi_plus_c)
+       else None);
+  }
+
+let all_ok r =
+  r.chain_verified && r.theorem14_valid && r.constructive_pipeline_ok
+  && match r.lemma8_concrete_ok with None -> true | Some ok -> ok
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>paper verification at (Delta = %d, k = %d):@,\
+     chain length: %d@,\
+     chain mechanically verified: %b@,\
+     Theorem 14 certificate: %b@,\
+     constructive pipeline (Lemmas 5, 9, 11 on a real tree): %b%a@,\
+     => all OK: %b@]"
+    r.delta r.k r.chain_length r.chain_verified r.theorem14_valid
+    r.constructive_pipeline_ok
+    (fun fmt -> function
+      | None -> ()
+      | Some ok ->
+          Format.fprintf fmt "@,full Rbar(R(Pi)) cross-check: %b" ok)
+    r.lemma8_concrete_ok (all_ok r)

@@ -1,0 +1,32 @@
+(** One-call verification of the whole reproduction at given
+    parameters: the master report behind `roundelim verify-all` and the
+    CI-style smoke check.
+
+    [verify ~delta ~k] runs, for the chain at (Δ, k):
+    - Lemma 6 (engine isomorphism + denotations) on every link,
+    - Lemma 8 (symbolic certificate) on every link,
+    - Lemmas 12/15 on every problem,
+    - the Theorem 14 hypothesis bundle,
+    and additionally exercises the {e constructive} side end-to-end on
+    a generated tree: k-outdegree dominating set → Lemma 5 → one
+    Lemma 9 + Lemma 11 conversion, all labelings validated.
+
+    The [concrete_lemma8] flag adds the full R̄(R(Π)) computation at a
+    small Δ (independent of [delta]) as a cross-check. *)
+
+type report = {
+  delta : int;
+  k : int;
+  chain_length : int;
+  chain_verified : bool;
+  theorem14_valid : bool;
+  constructive_pipeline_ok : bool;
+      (** Lemma 5 → Lemma 9 → Lemma 11 on a real tree. *)
+  lemma8_concrete_ok : bool option;  (** When requested. *)
+}
+
+val verify : ?concrete_lemma8:bool -> delta:int -> k:int -> unit -> report
+
+val all_ok : report -> bool
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,122 @@
+type step = { index : int; a : int; x : int }
+
+type chain = { delta : int; x0 : int; steps : step list }
+
+let params_at ~delta ~x0 i =
+  (* a_i = ⌊Δ / 2^(3i)⌋ with an explicit guard against shift overflow. *)
+  let a = if 3 * i >= 62 then 0 else delta / (1 lsl (3 * i)) in
+  { index = i; a; x = x0 + i }
+
+let cor10_ok ~delta { a; x; _ } = (2 * x) + 1 <= a && x + 2 <= a && a <= delta
+
+let lemma11_ok cur next =
+  (cur.a - (2 * cur.x) - 1) / 2 >= next.a && cur.x + 1 <= next.x
+
+let lemma12_ok ~delta { a; x; _ } = x <= delta - 1 && a >= 1
+
+let build ~delta ~x0 =
+  let rec extend acc i =
+    let cur = params_at ~delta ~x0 i in
+    let next = params_at ~delta ~x0 (i + 1) in
+    if
+      cor10_ok ~delta cur
+      && lemma11_ok cur next
+      && lemma12_ok ~delta next
+    then extend (next :: acc) (i + 1)
+    else List.rev acc
+  in
+  let first = params_at ~delta ~x0 0 in
+  let steps =
+    if lemma12_ok ~delta first then extend [ first ] 0 else [ first ]
+  in
+  { delta; x0; steps }
+
+let length chain = List.length chain.steps - 1
+
+type link_check = {
+  step_index : int;
+  cor10_side_conditions : bool;
+  lemma6_ok : bool;
+  lemma8_ok : bool;
+  lemma11_ok : bool;
+}
+
+type chain_check = {
+  chain : chain;
+  links : link_check list;
+  last_not_zero_round : bool;
+  last_failure_bound_ok : bool;
+}
+
+let verify ?(deep_lemma6 = true) chain =
+  let delta = chain.delta in
+  let rec link_checks = function
+    | [] | [ _ ] -> []
+    | cur :: (next :: _ as rest) ->
+        let params = { Family.delta; a = cur.a; x = cur.x } in
+        let check =
+          {
+            step_index = cur.index;
+            cor10_side_conditions = cor10_ok ~delta cur;
+            lemma6_ok = (not deep_lemma6) || Lemma6.holds params;
+            lemma8_ok = Lemma8.all_ok (Lemma8.verify_symbolic params);
+            lemma11_ok = lemma11_ok cur next;
+          }
+        in
+        check :: link_checks rest
+  in
+  let links = link_checks chain.steps in
+  let all_steps_unsolvable =
+    List.for_all
+      (fun s ->
+        Zero_round.deterministic_unsolvable { Family.delta; a = s.a; x = s.x })
+      chain.steps
+  in
+  let failure_bound_ok =
+    List.for_all
+      (fun s ->
+        match
+          Zero_round.randomized_failure_bound { Family.delta; a = s.a; x = s.x }
+        with
+        | Some bound ->
+            bound >= 1. /. (float_of_int delta ** 8.)
+        | None -> false)
+      chain.steps
+  in
+  {
+    chain;
+    links;
+    last_not_zero_round = all_steps_unsolvable;
+    last_failure_bound_ok = failure_bound_ok;
+  }
+
+let chain_ok check =
+  check.last_not_zero_round && check.last_failure_bound_ok
+  && List.for_all
+       (fun l ->
+         l.cor10_side_conditions && l.lemma6_ok && l.lemma8_ok && l.lemma11_ok)
+       check.links
+
+let kods_pn_lower_bound ~delta ~k = length (build ~delta ~x0:k)
+
+let optimal ~delta ~x0 =
+  let rec extend acc cur =
+    let next = { index = cur.index + 1; a = (cur.a - (2 * cur.x) - 1) / 2; x = cur.x + 1 } in
+    if cor10_ok ~delta cur && lemma12_ok ~delta next then
+      extend (next :: acc) next
+    else List.rev acc
+  in
+  let first = { index = 0; a = delta; x = x0 } in
+  let steps = if lemma12_ok ~delta first then extend [ first ] first else [ first ] in
+  { delta; x0; steps }
+
+let optimal_length ~delta ~x0 = length (optimal ~delta ~x0)
+
+let pp_chain fmt chain =
+  Format.fprintf fmt "@[<v>chain (Delta=%d, x0=%d), %d speedup steps:@,"
+    chain.delta chain.x0 (length chain);
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  Pi_%d = Pi(a=%d, x=%d)@," s.index s.a s.x)
+    chain.steps;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,86 @@
+(** Lemma 13, mechanized: the lower-bound sequence
+    Π_i = Π_Δ(⌊Δ/2^(3i)⌋, x₀+i).
+
+    Each link Π_i → Π_{i+1} combines Corollary 10 (one round-
+    elimination step, via Lemmas 6, 8 and 9) with Lemma 11 (monotone
+    relaxation to the canonical parameters).  The chain keeps going as
+    long as the side conditions hold, and its last problem is not
+    0-round solvable (Lemma 12), so the chain length is a lower bound
+    on the round complexity of Π_0 — and hence, via Lemma 5, of the
+    x₀-outdegree dominating set problem — in the deterministic port
+    numbering model. *)
+
+type step = { index : int; a : int; x : int }
+
+type chain = {
+  delta : int;
+  x0 : int;
+  steps : step list;  (** step 0 first; at least one element. *)
+}
+
+(** The canonical parameters at index [i]: [a = Δ/2^(3i)], [x = x₀+i]. *)
+val params_at : delta:int -> x0:int -> int -> step
+
+(** Build the longest valid chain: every consecutive pair satisfies the
+    side conditions of Corollary 10 ([2x+1 ≤ a], [x+2 ≤ a ≤ Δ]) and of
+    the Lemma 11 relaxation ([⌊(a-2x-1)/2⌋ ≥ a_next]), and the last
+    step satisfies Lemma 12's hypotheses ([x ≤ Δ-1], [a ≥ 1]). *)
+val build : delta:int -> x0:int -> chain
+
+(** Number of speedup steps = [List.length steps - 1]: the proven
+    port-numbering lower bound (in rounds) for Π_Δ(Δ, x₀), hence for
+    x₀-outdegree dominating sets (plus one round, by Lemma 5). *)
+val length : chain -> int
+
+type link_check = {
+  step_index : int;
+  cor10_side_conditions : bool;  (** [2x+1 ≤ a] and [x+2 ≤ a ≤ Δ]. *)
+  lemma6_ok : bool;  (** Engine-verified shape of R(Π_i). *)
+  lemma8_ok : bool;  (** Symbolic Lemma 8 certificate. *)
+  lemma11_ok : bool;  (** [⌊(a-2x-1)/2⌋ ≥ a_{i+1}] and [x+1 ≤ x_{i+1}]. *)
+}
+
+type chain_check = {
+  chain : chain;
+  links : link_check list;
+  last_not_zero_round : bool;  (** Lemma 12 on the final problem. *)
+  last_failure_bound_ok : bool;
+      (** Lemma 15 bound ≥ 1/Δ⁸ on {e every} problem of the chain (the
+          hypothesis of Theorem 14). *)
+}
+
+(** Mechanically verify every link.  [deep_lemma6] additionally runs
+    the engine-based Lemma 6 check per link (cheap but not free);
+    otherwise links reuse one check per distinct parameter pair. *)
+val verify : ?deep_lemma6:bool -> chain -> chain_check
+
+val chain_ok : chain_check -> bool
+
+(** Convenience: the proven deterministic PN-model lower bound for
+    k-outdegree dominating sets at maximum degree [delta].  With
+    [t = length (build ~delta ~x0:k)]: every problem Π_0 … Π_t of the
+    chain is 0-round unsolvable (Lemma 12) and each link loses exactly
+    one round, so Π_0 needs ≥ t+1 rounds; Lemma 5 solves Π_0 from a
+    k-outdegree dominating set in one round, hence the dominating set
+    problem needs ≥ t rounds. *)
+val kods_pn_lower_bound : delta:int -> k:int -> int
+
+val pp_chain : Format.formatter -> chain -> unit
+
+(** {1 The best chain the family can give (Section 5 context)}
+
+    Lemma 13 uses the canonical parameters a_i = Δ/2^(3i) for a clean
+    proof; the family actually supports the exact recurrence
+    a_{i+1} = ⌊(a_i - 2x_i - 1)/2⌋, x_{i+1} = x_i + 1 (Corollary 10
+    with no Lemma-11 slack).  [optimal ~delta ~x0] follows that
+    recurrence as long as the side conditions hold, yielding chains of
+    length ≈ log₂ Δ — a 3.3× longer chain than the canonical one, but
+    still Θ(log Δ): within this 5-label family the Ω(Δ) bound
+    conjectured in Section 5 is out of reach, which quantifies why the
+    open problem needs new ideas. *)
+val optimal : delta:int -> x0:int -> chain
+
+(** [length (optimal ~delta ~x0)].  An [optimal] chain can be verified
+    link-by-link with the same {!verify} (it only reads the step
+    parameters). *)
+val optimal_length : delta:int -> x0:int -> int

@@ -1,0 +1,54 @@
+type certificate = {
+  chain : Sequence.chain;
+  t : int;
+  links_verified : bool;
+  label_budget_ok : bool;
+  failure_bounds_ok : bool;
+}
+
+let valid c = c.links_verified && c.label_budget_ok && c.failure_bounds_ok
+
+let certify ~delta ~k =
+  let chain = Sequence.build ~delta ~x0:k in
+  let check = Sequence.verify chain in
+  let links_verified =
+    List.for_all
+      (fun l ->
+        l.Sequence.cor10_side_conditions && l.Sequence.lemma6_ok
+        && l.Sequence.lemma8_ok && l.Sequence.lemma11_ok)
+      check.Sequence.links
+    && check.Sequence.last_not_zero_round
+  in
+  let label_budget_ok =
+    List.for_all
+      (fun { Sequence.a; x; _ } ->
+        Relim.Problem.label_count (Family.pi { Family.delta; a; x })
+        <= delta * delta)
+      chain.Sequence.steps
+  in
+  {
+    chain;
+    t = Sequence.length chain;
+    links_verified;
+    label_budget_ok;
+    failure_bounds_ok = check.Sequence.last_failure_bound_ok;
+  }
+
+let conclusion_det c ~n =
+  let delta = float_of_int c.chain.Sequence.delta in
+  Float.min (float_of_int c.t) (log n /. log delta)
+
+let conclusion_rand c ~n =
+  let delta = float_of_int c.chain.Sequence.delta in
+  Float.min (float_of_int c.t) (log (Float.max 2. (log n)) /. log delta)
+
+let pp fmt c =
+  Format.fprintf fmt
+    "@[<v>Theorem 14 certificate (Delta = %d, k = %d):@,\
+     chain length t = %d@,\
+     all links verified (Lemmas 6/8/11 + Cor. 10 side conditions): %b@,\
+     label budget (<= Delta^2 per problem): %b@,\
+     randomized failure bounds (Lemma 15, >= 1/Delta^8): %b@,\
+     => Pi_0 requires Omega(min(t, log_Delta n)) det / Omega(min(t, log_Delta log n)) rand in LOCAL@]"
+    c.chain.Sequence.delta c.chain.Sequence.x0 c.t c.links_verified
+    c.label_budget_ok c.failure_bounds_ok

@@ -1,0 +1,40 @@
+(** Theorem 14 (the lift from the port-numbering model to LOCAL) and
+    Theorem 1, assembled as an explicit certificate.
+
+    Theorem 14 [4, 5, 15] takes a sequence Π₀ → … → Π_t where each
+    Π_{i+1} is 0-round solvable given a solution of [R̄(R(Π_i))], with
+    (i) a label budget of O(Δ²) per problem and (ii) a randomized
+    0-round failure probability of at least 1/Δ⁸ for every problem of
+    the sequence under the mirrored-port adversary — and concludes that
+    Π₀ requires Ω(min{t, log_Δ n}) deterministic and
+    Ω(min{t, log_Δ log n}) randomized rounds in the LOCAL model.
+
+    {!certify} checks every hypothesis mechanically for a Lemma 13
+    chain and packages the result; the lift theorem itself is cited
+    machinery (in the paper as here — see DESIGN.md). *)
+
+type certificate = {
+  chain : Sequence.chain;
+  t : int;  (** Chain length = PN-model bound for Π₀. *)
+  links_verified : bool;
+      (** Every link: Lemma 6 + Lemma 8 certificates + side
+          conditions (the "0-round solvable from R̄(R(Π_i))"
+          hypothesis). *)
+  label_budget_ok : bool;  (** Every problem uses ≤ O(Δ²) labels (5). *)
+  failure_bounds_ok : bool;
+      (** Lemma 15 bound ≥ 1/Δ⁸ for every problem of the chain. *)
+}
+
+(** All hypotheses hold. *)
+val valid : certificate -> bool
+
+val certify : delta:int -> k:int -> certificate
+
+(** The Theorem 1 conclusions for a valid certificate, evaluated at a
+    given [n] (constants 1): deterministic and randomized lower
+    bounds [min(t, log_Δ n)] and [min(t, log_Δ log n)]. *)
+val conclusion_det : certificate -> n:float -> float
+
+val conclusion_rand : certificate -> n:float -> float
+
+val pp : Format.formatter -> certificate -> unit

@@ -1,0 +1,27 @@
+let in_lemma12_range { Family.delta; a; x } = x <= delta - 1 && a >= 1
+
+let deterministic_unsolvable params =
+  in_lemma12_range params
+  && Relim.Zeroround.solvable_mirrored (Family.pi params) = None
+
+let randomized_failure_bound params =
+  if not (in_lemma12_range params) then None
+  else Relim.Zeroround.randomized_failure_bound (Family.pi params)
+
+let self_incompatible_witnesses params =
+  let problem = Family.pi params in
+  let self = Relim.Zeroround.self_compatible problem in
+  let witness config_desc name =
+    let l = Relim.Alphabet.find problem.alpha name in
+    if Relim.Labelset.mem l self then
+      failwith
+        (Printf.sprintf
+           "Zero_round: label %s is self-compatible, contradicting Lemma 12"
+           name)
+    else (config_desc, name)
+  in
+  [
+    witness "M^(D-x) X^x" "M";
+    witness "A^a X^(D-a)" "A";
+    witness "P O^(D-1)" "P";
+  ]

@@ -1,0 +1,26 @@
+(** Lemmas 12 and 15 instantiated for the family: Π_Δ(a, x) is not
+    0-round solvable in the (deterministic or randomized) port
+    numbering model for [x ≤ Δ-1] and [a ≥ 1], even given a Δ-edge
+    coloring.
+
+    The generic deciders live in {!Relim.Zeroround}; this module adds
+    the family-specific statements, including the explicit witnesses
+    the paper names (M, A and P are each incompatible with themselves,
+    one per allowed node configuration). *)
+
+(** True iff the parameters satisfy Lemma 12's hypotheses
+    ([x ≤ Δ-1], [a ≥ 1]) and the mirrored-port decider confirms
+    unsolvability. *)
+val deterministic_unsolvable : Family.params -> bool
+
+(** Lemma 15's failure-probability lower bound: [Some (1/(3Δ)²)] when
+    the hypotheses hold (and [None] otherwise — the problem would be
+    0-round solvable).  Always at least [1/Δ⁸] for Δ ≥ 2, the bound
+    Theorem 14 consumes. *)
+val randomized_failure_bound : Family.params -> float option
+
+(** The paper's per-configuration witnesses: every allowed node
+    configuration of Π_Δ(a,x) contains a label that is not
+    edge-compatible with itself.  Returns (configuration description,
+    witness label name) pairs, verified against the problem. *)
+val self_incompatible_witnesses : Family.params -> (string * string) list

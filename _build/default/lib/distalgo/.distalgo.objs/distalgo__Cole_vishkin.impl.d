@@ -1,0 +1,1 @@
+lib/distalgo/cole_vishkin.ml: Array Dsgraph List Localsim Rooted

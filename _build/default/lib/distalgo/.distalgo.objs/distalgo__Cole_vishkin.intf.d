@@ -1,0 +1,1 @@
+lib/distalgo/cole_vishkin.mli: Dsgraph Localsim

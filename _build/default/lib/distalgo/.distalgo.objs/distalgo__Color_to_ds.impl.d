@@ -1,0 +1,1 @@
+lib/distalgo/color_to_ds.ml: Array Dsgraph Localsim

@@ -1,0 +1,1 @@
+lib/distalgo/defective.mli: Dsgraph

@@ -1,0 +1,1 @@
+lib/distalgo/kods.ml: Array Cole_vishkin Color_to_ds Defective Dsgraph Linial

@@ -1,0 +1,1 @@
+lib/distalgo/kods.mli: Dsgraph

@@ -1,0 +1,1 @@
+lib/distalgo/linial.ml: Array Dsgraph Float List Localsim

@@ -1,0 +1,1 @@
+lib/distalgo/linial.mli: Dsgraph Localsim

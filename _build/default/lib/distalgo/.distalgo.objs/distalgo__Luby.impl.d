@@ -1,0 +1,1 @@
+lib/distalgo/luby.ml: Array Dsgraph Localsim Random

@@ -1,0 +1,1 @@
+lib/distalgo/luby.mli: Dsgraph Localsim

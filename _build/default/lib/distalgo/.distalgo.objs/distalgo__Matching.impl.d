@@ -1,0 +1,1 @@
+lib/distalgo/matching.ml: Array Dsgraph List Localsim Printf

@@ -1,0 +1,1 @@
+lib/distalgo/matching.mli: Dsgraph Localsim

@@ -1,0 +1,1 @@
+lib/distalgo/rooted.ml: Array Dsgraph Localsim

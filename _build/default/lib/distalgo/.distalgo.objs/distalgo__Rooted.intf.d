@@ -1,0 +1,1 @@
+lib/distalgo/rooted.mli: Dsgraph Localsim

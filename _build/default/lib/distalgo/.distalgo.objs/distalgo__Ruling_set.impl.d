@@ -1,0 +1,1 @@
+lib/distalgo/ruling_set.ml: Array Dsgraph Luby

@@ -1,0 +1,83 @@
+let bits_for k =
+  (* Number of bits needed to write colors 0 .. k-1. *)
+  let rec go b = if 1 lsl b >= k then b else go (b + 1) in
+  max 1 (go 1)
+
+let cv_rounds n =
+  let rec go k acc = if k <= 6 then acc else go (2 * bits_for k) (acc + 1) in
+  go (max 1 n) 0
+
+let schedule_length n = cv_rounds n + 6
+
+(* Least bit position where a and b differ (they must differ). *)
+let first_diff_bit a b =
+  let x = a lxor b in
+  let rec go i = if (x lsr i) land 1 = 1 then i else go (i + 1) in
+  go 0
+
+type state = { color : int; parent_port : int; t : int; horizon : int }
+
+type message = int
+
+let smallest_not_in forbidden =
+  let rec go c = if List.mem c forbidden then go (c + 1) else c in
+  go 0
+
+let algo : (int, state, message, int) Localsim.Algo.t =
+  {
+    name = "cole-vishkin-3coloring";
+    init =
+      (fun ctx parent_port ->
+        let n = ctx.Localsim.Ctx.n in
+        {
+          color = Localsim.Ctx.the_id ctx - 1;
+          parent_port;
+          t = 0;
+          horizon = schedule_length n;
+        });
+    send =
+      (fun ctx st ~round:_ -> Array.make ctx.Localsim.Ctx.degree st.color);
+    recv =
+      (fun ctx st ~round:_ inbox ->
+        let cv = cv_rounds ctx.Localsim.Ctx.n in
+        let is_root = st.parent_port < 0 in
+        let color =
+          if st.t < cv then begin
+            (* Bit-compression step. *)
+            if is_root then st.color land 1
+            else begin
+              let pc = inbox.(st.parent_port) in
+              let i = first_diff_bit st.color pc in
+              (2 * i) + ((st.color lsr i) land 1)
+            end
+          end
+          else begin
+            let j = st.t - cv in
+            if j mod 2 = 0 then begin
+              (* Shift-down: adopt the parent's color so that all
+                 siblings agree; the root moves away from its own old
+                 color. *)
+              if is_root then smallest_not_in [ st.color ]
+              else inbox.(st.parent_port)
+            end
+            else begin
+              (* Eliminate color 5 - j/2: after a shift-down, a node's
+                 neighbors use at most two colors (parent's, and the
+                 common color of its children). *)
+              let target = 5 - (j / 2) in
+              if st.color = target then
+                smallest_not_in (Array.to_list inbox)
+              else st.color
+            end
+          end
+        in
+        { st with color; t = st.t + 1 });
+    output = (fun st -> if st.t >= st.horizon then Some st.color else None);
+  }
+
+let run g ~root =
+  let inputs = Rooted.parent_ports g ~root in
+  let result = Localsim.Run.run g ~inputs algo in
+  if not (Dsgraph.Check.is_proper_coloring ~bound:3 g result.Localsim.Run.outputs) then
+    failwith "Cole_vishkin.run: output is not a proper 3-coloring";
+  (result.Localsim.Run.outputs, result.Localsim.Run.rounds)

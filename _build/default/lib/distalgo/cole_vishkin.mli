@@ -1,0 +1,33 @@
+(** Cole–Vishkin style deterministic 3-coloring of rooted trees in
+    O(log* n) rounds [Cole–Vishkin '86; Goldberg–Plotkin–Shannon '88].
+
+    Input: the port towards the parent ([-1] at the root).  Initial
+    colors are the unique identifiers, iteratively compressed by the
+    bit-trick to 6 colors in O(log* n) rounds, then reduced to 3 by
+    three shift-down + eliminate steps.  This is the [O(log* n)]
+    ingredient of the tree MIS upper bounds discussed in Section 1.1 of
+    the paper.
+
+    The number of rounds is a deterministic function of [n] only, so
+    all nodes terminate simultaneously — convenient for composing with
+    the color-by-color stage. *)
+
+type state
+
+(** Messages are the sender's current color (initially an identifier),
+    exposed so harnesses can account CONGEST message sizes. *)
+type message = int
+
+(** Output: a color in [{0, 1, 2}], proper on the tree. *)
+val algo : (int, state, message, int) Localsim.Algo.t
+
+(** Rounds the schedule uses for [n] nodes: [cv_rounds n + 6]. *)
+val schedule_length : int -> int
+
+(** Number of bit-compression iterations needed from initial palette
+    [n] down to 6 colors (a log* -type quantity). *)
+val cv_rounds : int -> int
+
+(** [run g ~root] — rounds and the verified proper 3-coloring.
+    @raise Failure if the output fails verification (a bug). *)
+val run : Dsgraph.Graph.t -> root:int -> int array * int

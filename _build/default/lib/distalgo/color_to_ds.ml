@@ -1,0 +1,38 @@
+type input = { color : int; palette : int }
+
+type state = { input : input; dominated : bool; joined : bool; t : int }
+
+type message = Joined | Quiet
+
+let algo : (input, state, message, bool) Localsim.Algo.t =
+  {
+    name = "color-class-selection";
+    init = (fun _ctx input -> { input; dominated = false; joined = false; t = 0 });
+    send =
+      (fun ctx st ~round ->
+        let announce = round = st.input.color && not st.dominated in
+        Array.make ctx.Localsim.Ctx.degree (if announce then Joined else Quiet));
+    recv =
+      (fun _ctx st ~round inbox ->
+        let joined =
+          st.joined || (round = st.input.color && not st.dominated)
+        in
+        let dominated =
+          st.dominated || Array.exists (fun m -> m = Joined) inbox
+        in
+        { st with joined; dominated; t = st.t + 1 });
+    output =
+      (fun st -> if st.t >= st.input.palette then Some st.joined else None);
+  }
+
+let select g colors =
+  let palette = 1 + Array.fold_left max 0 colors in
+  let inputs = Array.map (fun c -> { color = c; palette }) colors in
+  let result = Localsim.Run.run ~ids:Localsim.Run.Anonymous g ~inputs algo in
+  (result.Localsim.Run.outputs, result.Localsim.Run.rounds)
+
+let mis_of_proper_coloring g colors =
+  let sel, rounds = select g colors in
+  if not (Dsgraph.Check.is_mis g sel) then
+    failwith "Color_to_ds.mis_of_proper_coloring: output is not an MIS";
+  (sel, rounds)

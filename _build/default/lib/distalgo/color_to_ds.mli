@@ -1,0 +1,38 @@
+(** The paper's upper-bound recipe (Section 1.1): from a k-defective or
+    k-arbdefective c-coloring to a k-(out)degree dominating set.
+
+    "We start with an empty set S and iterate over the c color classes.
+    When considering the nodes of a given color class, we add all nodes
+    to the set S that do not already have a neighbor in S."
+
+    One communication round per color class.  Since a node is blocked
+    by S-members of earlier classes, edges inside S only ever connect
+    members of the {e same} class — so the defect/arbdefect bound of a
+    single class bounds the degree/outdegree of S.
+
+    - proper coloring (defect 0)            → MIS;
+    - k-defective c-coloring                → k-degree dominating set;
+    - k-arbdefective c-coloring (+ its
+      orientation, restricted to S)         → k-outdegree dominating set. *)
+
+type input = {
+  color : int;  (** This node's input color, in [0 .. palette-1]. *)
+  palette : int;  (** Number of color classes (global constant). *)
+}
+
+type state
+
+type message
+
+(** Output: [true] iff the node joined S.  Runs for exactly [palette]
+    rounds. *)
+val algo : (input, state, message, bool) Localsim.Algo.t
+
+(** [select g colors] — run the algorithm with the given input node
+    coloring; returns (membership, rounds). *)
+val select : Dsgraph.Graph.t -> int array -> bool array * int
+
+(** [mis_of_proper_coloring g colors] — [select], verified to be an MIS
+    (requires [colors] proper).
+    @raise Failure if verification fails. *)
+val mis_of_proper_coloring : Dsgraph.Graph.t -> int array -> bool array * int

@@ -1,0 +1,67 @@
+module Graph = Dsgraph.Graph
+module Orientation = Dsgraph.Orientation
+
+let palette_size ~delta ~k =
+  if k < 0 then invalid_arg "Defective.palette_size: negative k";
+  (delta / (k + 1)) + 1
+
+let same_color_neighbors g colors v =
+  let count = ref 0 in
+  for p = 0 to Graph.degree g v - 1 do
+    if colors.(Graph.neighbor g v p) = colors.(v) then incr count
+  done;
+  !count
+
+let minority_color g colors palette v =
+  let used = Array.make palette 0 in
+  for p = 0 to Graph.degree g v - 1 do
+    let c = colors.(Graph.neighbor g v p) in
+    if c >= 0 then used.(c) <- used.(c) + 1
+  done;
+  let best = ref 0 in
+  for c = 1 to palette - 1 do
+    if used.(c) < used.(!best) then best := c
+  done;
+  !best
+
+let defective g ~k =
+  let delta = Graph.max_degree g in
+  let palette = palette_size ~delta ~k in
+  let colors = Array.make (Graph.n g) 0 in
+  (* Local search: any node with too many same-color neighbors moves to
+     a minority color; each move strictly decreases the number of
+     monochromatic edges, so at most m iterations happen. *)
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    for v = 0 to Graph.n g - 1 do
+      if same_color_neighbors g colors v > k then begin
+        colors.(v) <- minority_color g colors palette v;
+        continue := true
+      end
+    done
+  done;
+  if not (Dsgraph.Check.is_defective_coloring g ~k colors) then
+    failwith "Defective.defective: verification failed";
+  colors
+
+let arbdefective g ~k =
+  let delta = Graph.max_degree g in
+  let palette = palette_size ~delta ~k in
+  let n = Graph.n g in
+  let colors = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    (* Color least used among already-colored (earlier) neighbors: the
+       at most Δ earlier neighbors spread over > Δ/(k+1) colors, so the
+       minority color has at most k of them. *)
+    colors.(v) <- minority_color g colors palette v
+  done;
+  let towards =
+    Array.init (Graph.m g) (fun e ->
+        let u, v = Graph.endpoints g e in
+        if colors.(u) <> colors.(v) then -1 else min u v)
+  in
+  let orientation = Orientation.make g towards in
+  if not (Dsgraph.Check.is_arbdefective_coloring g ~k colors orientation) then
+    failwith "Defective.arbdefective: verification failed";
+  (colors, orientation)

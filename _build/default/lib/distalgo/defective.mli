@@ -1,0 +1,31 @@
+(** Defective and arbdefective colorings.
+
+    A k-defective c-coloring partitions the nodes into c classes so
+    that each node has at most k same-color neighbors; a k-arbdefective
+    c-coloring additionally orients same-color edges so that each node
+    has at most k same-color {e out}-neighbors (Section 1.1).
+
+    The paper uses the distributed constructions of [Kuhn '09] and
+    [Barenboim–Elkin–Goldenberg '18] as black boxes; here we provide
+    centralized constructions with the same (k, c) interface — see the
+    substitution table in DESIGN.md — plus the quantities needed to
+    model their round costs. *)
+
+(** Smallest palette size our constructions guarantee for defect [k] at
+    maximum degree [delta]: [⌊delta/(k+1)⌋ + 1] (≈ Δ/k, the same
+    asymptotics as the distributed algorithms the paper cites). *)
+val palette_size : delta:int -> k:int -> int
+
+(** [defective g ~k] — a k-defective coloring with
+    [palette_size ~delta:(max_degree g) ~k] colors, by local search
+    (recolor any over-defective node to a minority color; the number of
+    monochromatic edges strictly decreases, so this terminates).
+    Output verified internally.
+    @raise Invalid_argument if [k < 0]. *)
+val defective : Dsgraph.Graph.t -> k:int -> int array
+
+(** [arbdefective g ~k] — a k-arbdefective coloring with the same
+    palette: greedy in node order (each node takes the color least used
+    among already-colored neighbors), orienting same-color edges from
+    later to earlier nodes.  Output verified internally. *)
+val arbdefective : Dsgraph.Graph.t -> k:int -> int array * Dsgraph.Orientation.t

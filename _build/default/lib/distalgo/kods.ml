@@ -1,0 +1,88 @@
+module Graph = Dsgraph.Graph
+module Orientation = Dsgraph.Orientation
+
+type result = {
+  selected : bool array;
+  orientation : Orientation.t;
+  rounds : int;
+  palette : int;
+}
+
+let check ~k g result =
+  if
+    not
+      (Dsgraph.Check.is_k_outdegree_dominating_set g ~k result.selected
+         result.orientation)
+  then failwith "Kods: output is not a k-outdegree dominating set"
+
+let via_arbdefective g ~k =
+  let colors, orientation = Defective.arbdefective g ~k in
+  let selected, rounds = Color_to_ds.select g colors in
+  let orientation = Orientation.restrict orientation (fun v -> selected.(v)) in
+  let palette = 1 + Array.fold_left max 0 colors in
+  let result = { selected; orientation; rounds; palette } in
+  check ~k g result;
+  result
+
+let via_defective g ~k =
+  let colors = Defective.defective g ~k in
+  let selected, rounds = Color_to_ds.select g colors in
+  if not (Dsgraph.Check.is_k_degree_dominating_set g ~k selected) then
+    failwith "Kods.via_defective: output is not a k-degree dominating set";
+  (* Any orientation of the induced edges witnesses outdegree <= k,
+     since even the full induced degree is at most k. *)
+  let towards =
+    Array.init (Graph.m g) (fun e ->
+        let u, v = Graph.endpoints g e in
+        if selected.(u) && selected.(v) then min u v else -1)
+  in
+  let orientation = Orientation.make g towards in
+  let palette = 1 + Array.fold_left max 0 colors in
+  let result = { selected; orientation; rounds; palette } in
+  check ~k g result;
+  result
+
+let via_round_robin g ~k ~root =
+  if k < 1 then invalid_arg "Kods.via_round_robin: needs k >= 1";
+  if not (Graph.is_tree g) then invalid_arg "Kods.via_round_robin: not a tree";
+  let delta = Graph.max_degree g in
+  let palette = Defective.palette_size ~delta ~k in
+  let colors = Array.init (Graph.n g) (fun v -> v mod palette) in
+  let to_root = Orientation.towards_root ~root g in
+  let orientation =
+    Orientation.restrict to_root (fun _ -> true)
+    |> fun o ->
+    Orientation.make g
+      (Array.mapi
+         (fun e head ->
+           let u, v = Graph.endpoints g e in
+           if colors.(u) = colors.(v) then head else -1)
+         o.Orientation.towards)
+  in
+  if not (Dsgraph.Check.is_arbdefective_coloring g ~k colors orientation) then
+    failwith "Kods.via_round_robin: coloring verification failed";
+  let selected, rounds = Color_to_ds.select g colors in
+  let orientation = Orientation.restrict orientation (fun v -> selected.(v)) in
+  let result = { selected; orientation; rounds; palette } in
+  check ~k g result;
+  result
+
+let trivial_on_rooted_tree g ~k ~root =
+  if k < 1 then invalid_arg "Kods.trivial_on_rooted_tree: needs k >= 1";
+  if not (Graph.is_tree g) then
+    invalid_arg "Kods.trivial_on_rooted_tree: not a tree";
+  let selected = Array.make (Graph.n g) true in
+  let orientation = Orientation.towards_root ~root g in
+  let result = { selected; orientation; rounds = 0; palette = 1 } in
+  check ~k g result;
+  result
+
+let mis_via_linial g =
+  let colors, linial_rounds = Linial.run g in
+  let mis, select_rounds = Color_to_ds.mis_of_proper_coloring g colors in
+  (mis, linial_rounds + select_rounds)
+
+let mis_on_tree g ~root =
+  let colors, cv_rounds = Cole_vishkin.run g ~root in
+  let mis, select_rounds = Color_to_ds.mis_of_proper_coloring g colors in
+  (mis, cv_rounds + select_rounds)

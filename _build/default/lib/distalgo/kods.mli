@@ -1,0 +1,55 @@
+(** k-outdegree / k-degree dominating set pipelines (Section 1.1).
+
+    Upper-bound counterparts of the paper's lower bound: the round
+    complexities measured here are the [O(c)] color-iteration stage
+    given a coloring as input — the coloring itself is either an input
+    substrate (centralized, like the paper's black-box citations) or
+    computed distributedly on trees via Cole–Vishkin. *)
+
+type result = {
+  selected : bool array;
+  orientation : Dsgraph.Orientation.t;
+      (** Orients all edges inside the selected set. *)
+  rounds : int;  (** Rounds of the distributed selection stage. *)
+  palette : int;  (** Number of color classes iterated. *)
+}
+
+(** [via_arbdefective g ~k] — k-arbdefective coloring (centralized
+    substrate, palette ≈ Δ/k) + distributed color-class iteration.
+    Works on any graph, any [k ≥ 0].  Verified internally.
+    @raise Failure on verification failure (a bug). *)
+val via_arbdefective : Dsgraph.Graph.t -> k:int -> result
+
+(** [via_defective g ~k] — same for k-{e degree} dominating sets (the
+    undirected variant); the orientation in the result orients
+    same-class edges arbitrarily and is valid for the outdegree variant
+    with the same [k]. *)
+val via_defective : Dsgraph.Graph.t -> k:int -> result
+
+(** [via_round_robin g ~k ~root] — models the {e generic} algorithm's
+    cost on trees: a k-arbdefective coloring with the full worst-case
+    palette [⌈Δ/(k+1)⌉ + 1] (classes assigned round-robin, same-class
+    edges oriented towards the root — any subset of a tree has
+    arbdefect ≤ 1 ≤ k), then the color-class iteration.  The selection
+    stage therefore runs Θ(Δ/k) rounds, exhibiting the palette law of
+    the [O(Δ/k + log* n)] upper bound that tree-specific colorings
+    hide.  Requires [k ≥ 1]. *)
+val via_round_robin : Dsgraph.Graph.t -> k:int -> root:int -> result
+
+(** [trivial_on_rooted_tree g ~k ~root] — the observation that on a
+    rooted tree, S = V with all edges oriented towards the root is a
+    k-outdegree dominating set for every [k ≥ 1] in zero rounds (any
+    subset of a tree induces a forest of outdegree 1).
+    @raise Invalid_argument if [k < 1] or [g] is not a tree. *)
+val trivial_on_rooted_tree : Dsgraph.Graph.t -> k:int -> root:int -> result
+
+(** [mis_via_linial g] — MIS on an {e arbitrary} graph, fully
+    distributed, no inputs beyond identifiers: Linial color reduction
+    to ≤ Δ+1 colors in O(Δ² + log* n) rounds, then color-class
+    selection.  Returns (mis, total rounds).  Verified internally. *)
+val mis_via_linial : Dsgraph.Graph.t -> bool array * int
+
+(** [mis_on_tree g ~root] — MIS on a tree: Cole–Vishkin 3-coloring +
+    3-round color iteration; returns (mis, rounds).  The rounds are
+    [O(log* n) + 3].  Verified internally. *)
+val mis_on_tree : Dsgraph.Graph.t -> root:int -> bool array * int

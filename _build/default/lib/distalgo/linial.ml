@@ -1,0 +1,131 @@
+let is_prime q =
+  q >= 2
+  &&
+  let rec go d = d * d > q || (q mod d <> 0 && go (d + 1)) in
+  go 2
+
+let next_prime q =
+  let rec go q = if is_prime q then q else go (q + 1) in
+  go (max 2 q)
+
+(* Smallest r with r^m >= k. *)
+let ceil_root k m =
+  let rec pow r m = if m = 0 then 1 else r * pow r (m - 1) in
+  let guess =
+    int_of_float (Float.round (Float.pow (float_of_int k) (1. /. float_of_int m)))
+  in
+  let rec adjust r = if pow r m >= k then r else adjust (r + 1) in
+  adjust (max 1 (guess - 2))
+
+(* Parameters of one Linial step from a K-coloring at maximum degree
+   delta: a prime q and degree bound d with q > delta*d and
+   q^(d+1) >= K, minimizing the resulting palette q². *)
+let step_params ~delta k =
+  let best = ref None in
+  for d = 1 to 40 do
+    let q = next_prime (max ((delta * d) + 1) (ceil_root k (d + 1))) in
+    match !best with
+    | Some (q', _) when q' <= q -> ()
+    | _ -> best := Some (q, d)
+  done;
+  match !best with Some qd -> qd | None -> assert false
+
+(* The full schedule: Linial steps until the palette stops shrinking,
+   then one reduce round per color above delta+1. *)
+let full_schedule ~n ~delta =
+  let rec steps k acc =
+    let q, d = step_params ~delta k in
+    if q * q < k then steps (q * q) ((q, d) :: acc)
+    else (k, List.rev acc)
+  in
+  let fixpoint, linial_steps = steps (max 1 n) [] in
+  let reduce_rounds = max 0 (fixpoint - (delta + 1)) in
+  (fixpoint, linial_steps, reduce_rounds)
+
+let schedule ~n ~delta =
+  let fixpoint, linial_steps, reduce_rounds = full_schedule ~n ~delta in
+  (fixpoint, List.length linial_steps, reduce_rounds)
+
+(* Evaluate the polynomial encoded by [color] in base q (degree <= d)
+   at point x, over F_q. *)
+let poly_eval ~q ~d color x =
+  let value = ref 0 and c = ref color and xpow = ref 1 in
+  for _ = 0 to d do
+    value := (!value + (!c mod q * !xpow)) mod q;
+    c := !c / q;
+    xpow := !xpow * x mod q
+  done;
+  !value
+
+type state = {
+  color : int;
+  t : int;
+  fixpoint : int;
+  linial_steps : (int * int) list;  (** Remaining (q, d) steps. *)
+  reduce_rounds : int;
+  horizon : int;
+}
+
+type message = int
+
+let algo : (unit, state, message, int) Localsim.Algo.t =
+  {
+    name = "linial-coloring";
+    init =
+      (fun ctx () ->
+        let n = ctx.Localsim.Ctx.n and delta = ctx.Localsim.Ctx.delta in
+        let fixpoint, linial_steps, reduce_rounds = full_schedule ~n ~delta in
+        {
+          color = Localsim.Ctx.the_id ctx - 1;
+          t = 0;
+          fixpoint;
+          linial_steps;
+          reduce_rounds;
+          horizon = List.length linial_steps + reduce_rounds;
+        });
+    send = (fun ctx st ~round:_ -> Array.make ctx.Localsim.Ctx.degree st.color);
+    recv =
+      (fun _ctx st ~round:_ inbox ->
+        match st.linial_steps with
+        | (q, d) :: rest ->
+            (* One polynomial step: find x with p_v(x) distinct from
+               every neighbor's value. *)
+            let rec find x =
+              if x >= q then
+                (* Cannot happen: q > delta*d bad points. *)
+                failwith "Linial: no good evaluation point"
+              else begin
+                let mine = poly_eval ~q ~d st.color x in
+                let clash =
+                  Array.exists (fun c -> poly_eval ~q ~d c x = mine) inbox
+                in
+                if clash then find (x + 1) else (x, mine)
+              end
+            in
+            let x, value = find 0 in
+            { st with color = (x * q) + value; t = st.t + 1; linial_steps = rest }
+        | [] ->
+            (* Reduce phase: eliminate the current maximum color. *)
+            let j = st.t - (st.horizon - st.reduce_rounds) in
+            let eliminated = st.fixpoint - 1 - j in
+            let color =
+              if st.color = eliminated then begin
+                let used = Array.to_list inbox in
+                let rec smallest c = if List.mem c used then smallest (c + 1) else c in
+                smallest 0
+              end
+              else st.color
+            in
+            { st with color; t = st.t + 1 });
+    output = (fun st -> if st.t >= st.horizon then Some st.color else None);
+  }
+
+let run g =
+  let result = Localsim.Run.run g ~inputs:(Localsim.Run.no_inputs g) algo in
+  let delta = Dsgraph.Graph.max_degree g in
+  let bound = max (delta + 1) 1 in
+  if
+    not
+      (Dsgraph.Check.is_proper_coloring ~bound g result.Localsim.Run.outputs)
+  then failwith "Linial.run: output is not a proper (Delta+1)-coloring";
+  (result.Localsim.Run.outputs, result.Localsim.Run.rounds)

@@ -1,0 +1,38 @@
+(** Linial's deterministic color reduction [Linial '92] — the classic
+    O(log* n) symmetry-breaking on {e general} graphs (no rooting, no
+    tree structure), followed by one-color-per-round reduction down to
+    Δ+1 colors.
+
+    One Linial step maps a proper K-coloring to a proper q²-coloring in
+    a single round: interpret the color as a degree-≤d polynomial over
+    F_q (base-q digits, with q prime, q > Δ·d and q^(d+1) ≥ K); two
+    distinct polynomials agree on at most d points, so among q > Δ·d
+    evaluation points some x has p_v(x) ≠ p_u(x) for all Δ neighbors u;
+    the new color is the pair (x, p_v(x)).  Iterating reaches a
+    fixpoint K* = O((Δ log Δ)²) in O(log* n) rounds; the remaining
+    K* - (Δ+1) colors are then eliminated one per round (the node
+    holding the current maximum color recolors to a free color ≤ Δ).
+
+    The round schedule is a deterministic function of (n, Δ), so all
+    nodes terminate simultaneously and the algorithm composes with the
+    color-class selection stage — this gives the fully distributed
+    O(Δ² + …) MIS pipeline of the kind the paper's §1.1 discussion
+    assumes, with no centralized substrate. *)
+
+type state
+
+type message = int
+
+(** Output: a proper coloring with at most [max (delta+1) 2] colors...
+    precisely: at most Δ+1 colors (Δ the global maximum degree).
+    Requires identifiers ([Sequential] or [Shuffled]). *)
+val algo : (unit, state, message, int) Localsim.Algo.t
+
+(** The Linial-phase fixpoint palette for maximum degree [delta]
+    starting from [n] colors, and the number of rounds of each phase:
+    [(fixpoint, linial_rounds, reduce_rounds)]. *)
+val schedule : n:int -> delta:int -> int * int * int
+
+(** [run g] — execute and verify; returns (coloring, rounds).
+    @raise Failure if the output fails verification (a bug). *)
+val run : Dsgraph.Graph.t -> int array * int

@@ -1,0 +1,61 @@
+type status = Undecided | In_mis | Out
+
+type state = { status : status; draw : int }
+
+type message = { status : status; draw : int }
+
+let fresh_draw ctx =
+  (* 60 random bits: ties are vanishingly rare and merely stall one
+     phase. *)
+  Random.State.full_int (Localsim.Ctx.the_rng ctx) (1 lsl 60)
+
+let algo : (unit, state, message, bool) Localsim.Algo.t =
+  {
+    name = "luby-mis";
+    init = (fun ctx () -> { status = Undecided; draw = fresh_draw ctx });
+    send =
+      (fun ctx st ~round:_ ->
+        Array.make ctx.Localsim.Ctx.degree { status = st.status; draw = st.draw });
+    recv =
+      (fun ctx st ~round inbox ->
+        if round mod 2 = 0 then begin
+          (* Phase step A: join if a strict local minimum among
+             undecided neighbors. *)
+          match st.status with
+          | Undecided ->
+              let beaten =
+                Array.exists
+                  (fun (m : message) ->
+                    m.status = Undecided && m.draw <= st.draw)
+                  inbox
+              in
+              if beaten then st else { st with status = In_mis }
+          | In_mis | Out -> st
+        end
+        else begin
+          (* Phase step B: retire neighbors of joiners, redraw. *)
+          match st.status with
+          | Undecided ->
+              let dominated =
+                Array.exists (fun (m : message) -> m.status = In_mis) inbox
+              in
+              if dominated then { st with status = Out }
+              else { status = Undecided; draw = fresh_draw ctx }
+          | In_mis | Out -> st
+        end);
+    output =
+      (fun st ->
+        match st.status with
+        | Undecided -> None
+        | In_mis -> Some true
+        | Out -> Some false);
+  }
+
+let run ?(seed = 42) g =
+  let result =
+    Localsim.Run.run ~ids:Localsim.Run.Anonymous ~seed g
+      ~inputs:(Localsim.Run.no_inputs g) algo
+  in
+  if not (Dsgraph.Check.is_mis g result.Localsim.Run.outputs) then
+    failwith "Luby.run: output is not an MIS";
+  (result.Localsim.Run.outputs, result.Localsim.Run.rounds)

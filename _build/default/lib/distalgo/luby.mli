@@ -1,0 +1,24 @@
+(** Luby's randomized MIS algorithm [Luby '86; Alon–Babai–Itai '86].
+
+    Each phase, every undecided node draws a random value and joins the
+    MIS if its value is a strict local minimum among undecided
+    neighbors; neighbors of joiners retire.  One phase costs two
+    communication rounds; O(log n) phases suffice with high
+    probability.  Works in the anonymous port-numbering model (ties
+    simply stall a phase and are broken by fresh randomness next
+    phase). *)
+
+type status = Undecided | In_mis | Out
+
+type state
+
+type message
+
+(** The algorithm; run with a [~seed] so nodes have randomness.
+    Output: [true] iff the node is in the MIS. *)
+val algo : (unit, state, message, bool) Localsim.Algo.t
+
+(** Convenience wrapper: run on a graph, return (mis, rounds).
+    The result is verified to be an MIS before returning.
+    @raise Failure if verification fails (would indicate a bug). *)
+val run : ?seed:int -> Dsgraph.Graph.t -> bool array * int

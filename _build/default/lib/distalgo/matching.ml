@@ -1,0 +1,113 @@
+module Graph = Dsgraph.Graph
+
+type input = { port_colors : int array; palette : int }
+
+type state = {
+  input : input;
+  b : int;
+  saturation : int;
+  matched_ports : bool array;
+  t : int;
+}
+
+type message = Propose | Decline
+
+(* In the round for color c, both endpoints of a color-c edge know
+   whether the other side is still unsaturated; the edge joins the
+   matching iff both propose.  No tie-breaking is needed because the
+   color classes are matchings themselves. *)
+let algo ~b : (input, state, message, bool array) Localsim.Algo.t =
+  {
+    name = Printf.sprintf "b-matching(b=%d)" b;
+    init =
+      (fun ctx input ->
+        {
+          input;
+          b;
+          saturation = 0;
+          matched_ports = Array.make ctx.Localsim.Ctx.degree false;
+          t = 0;
+        });
+    send =
+      (fun ctx st ~round ->
+        Array.init ctx.Localsim.Ctx.degree (fun port ->
+            if st.input.port_colors.(port) = round && st.saturation < st.b then
+              Propose
+            else Decline));
+    recv =
+      (fun _ctx st ~round inbox ->
+        let matched_ports = Array.copy st.matched_ports in
+        let gained = ref 0 in
+        Array.iteri
+          (fun port msg ->
+            if
+              st.input.port_colors.(port) = round
+              && msg = Propose
+              && st.saturation < st.b
+            then begin
+              matched_ports.(port) <- true;
+              incr gained
+            end)
+          inbox;
+        { st with matched_ports; saturation = st.saturation + !gained; t = st.t + 1 });
+    output =
+      (fun st -> if st.t >= st.input.palette then Some st.matched_ports else None);
+  }
+
+let run_generic g ~b colors =
+  if not (Dsgraph.Edge_coloring.is_proper g colors) then
+    invalid_arg "Matching: edge coloring is not proper";
+  let palette = 1 + Array.fold_left max 0 colors in
+  let inputs =
+    Array.init (Graph.n g) (fun v ->
+        let d = Graph.degree g v in
+        {
+          port_colors = Array.init d (fun p -> colors.(Graph.edge_id g v p));
+          palette;
+        })
+  in
+  let result =
+    Localsim.Run.run ~ids:Localsim.Run.Anonymous g ~inputs (algo ~b)
+  in
+  (* Per-edge selection from per-port outputs; both sides agree by
+     construction — assert it. *)
+  let sel = Array.make (Graph.m g) false in
+  for v = 0 to Graph.n g - 1 do
+    Array.iteri
+      (fun port matched ->
+        if matched then sel.(Graph.edge_id g v port) <- true)
+      result.Localsim.Run.outputs.(v)
+  done;
+  for v = 0 to Graph.n g - 1 do
+    Array.iteri
+      (fun port matched ->
+        if sel.(Graph.edge_id g v port) && not matched then
+          failwith "Matching: endpoints disagree")
+      result.Localsim.Run.outputs.(v)
+  done;
+  (sel, result.Localsim.Run.rounds)
+
+let maximal g colors =
+  let sel, rounds = run_generic g ~b:1 colors in
+  if not (Dsgraph.Check.is_maximal_matching g sel) then
+    failwith "Matching.maximal: verification failed";
+  (sel, rounds)
+
+let saturated g ~b sel v =
+  let touched = ref 0 in
+  for p = 0 to Graph.degree g v - 1 do
+    if sel.(Graph.edge_id g v p) then incr touched
+  done;
+  !touched >= b
+
+let b_matching g ~b colors =
+  let sel, rounds = run_generic g ~b colors in
+  if not (Dsgraph.Check.is_b_matching g ~b sel) then
+    failwith "Matching.b_matching: not a b-matching";
+  (* Maximality: every unselected edge has a saturated endpoint. *)
+  List.iteri
+    (fun e (u, v) ->
+      if (not sel.(e)) && (not (saturated g ~b sel u)) && not (saturated g ~b sel v)
+      then failwith "Matching.b_matching: not maximal")
+    (Graph.edges g);
+  (sel, rounds)

@@ -1,0 +1,36 @@
+(** Maximal matchings and b-matchings.
+
+    Maximal matching is the line-graph counterpart of MIS (Section 1
+    of the paper); b-matchings generalize it the way k-outdegree
+    dominating sets generalize MIS, and carry the Ω(Δ/b) lower bound of
+    [4, 15] the paper compares against.
+
+    The algorithm here is the edge-coloring analogue of the color-class
+    recipe: given a proper edge coloring as input, iterate over the
+    color classes; an edge joins the matching when both endpoints are
+    still unsaturated (below their budget [b]).  One round per color;
+    with a Δ-edge coloring on trees this is Δ rounds. *)
+
+type input = {
+  port_colors : int array;  (** Color of the edge behind each port. *)
+  palette : int;
+}
+
+type state
+
+type message
+
+(** [algo ~b] — per-node output: for each port, is the edge matched?
+    (Both endpoints of an edge always agree.) *)
+val algo : b:int -> (input, state, message, bool array) Localsim.Algo.t
+
+(** [maximal g colors] — 1-matching from a proper edge coloring;
+    verified maximal.  Returns (per-edge selection, rounds).
+    @raise Invalid_argument if [colors] is not proper.
+    @raise Failure if verification fails (a bug). *)
+val maximal : Dsgraph.Graph.t -> int array -> bool array * int
+
+(** [b_matching g ~b colors] — every node matched by at most [b]
+    selected edges; maximal in the sense that any unselected edge has a
+    saturated endpoint.  Verified. *)
+val b_matching : Dsgraph.Graph.t -> b:int -> int array -> bool array * int

@@ -1,0 +1,43 @@
+module Graph = Dsgraph.Graph
+
+let parent_ports g ~root =
+  if not (Graph.is_tree g) then invalid_arg "Rooted.parent_ports: not a tree";
+  let _, parent = Graph.bfs_parents g root in
+  Array.init (Graph.n g) (fun v ->
+      if v = root then -1 else Graph.port_of g v parent.(v))
+
+(* Flooding: the root claims itself at round 0; every node adopts the
+   first port from which it hears a claim, then claims onward.  A node
+   can output once it has been claimed and has heard from all ports —
+   simply: once claimed, after one more round (its claim has been
+   propagated). Termination detection in a tree: a node may stop once
+   claimed; total time = ecc(root) + 1. *)
+type state = { parent : int option; claimed : bool }
+
+type message = Claim | Quiet
+
+let flooding : (bool, state, message, int) Localsim.Algo.t =
+  {
+    name = "flooding-rooting";
+    init =
+      (fun _ctx is_root ->
+        if is_root then { parent = Some (-1); claimed = true }
+        else { parent = None; claimed = false });
+    send =
+      (fun ctx st ~round:_ ->
+        Array.make ctx.Localsim.Ctx.degree (if st.claimed then Claim else Quiet));
+    recv =
+      (fun _ctx st ~round:_ inbox ->
+        match st.parent with
+        | Some _ -> st
+        | None ->
+            let rec first p =
+              if p >= Array.length inbox then None
+              else if inbox.(p) = Claim then Some p
+              else first (p + 1)
+            in
+            (match first 0 with
+            | Some p -> { parent = Some p; claimed = true }
+            | None -> st));
+    output = (fun st -> st.parent);
+  }

@@ -1,0 +1,24 @@
+(** Rootings of trees.
+
+    Several classic tree algorithms (Cole–Vishkin coloring, trivial
+    arbdefective colorings) consume a {e rooted} tree: every non-root
+    node knows the port leading to its parent.  Computing a rooting
+    distributedly costs Θ(diameter) rounds in LOCAL — it is an input
+    assumption, not part of the symmetry-breaking cost, in the same way
+    the paper hands nodes a Δ-edge coloring.  We provide both the
+    centralized input generator and a distributed flooding algorithm
+    for completeness. *)
+
+(** [parent_ports g ~root] — for each node the port towards its parent,
+    [-1] for the root.
+    @raise Invalid_argument if [g] is not a tree. *)
+val parent_ports : Dsgraph.Graph.t -> root:int -> int array
+
+type state
+
+type message
+
+(** Distributed flooding rooting: input [true] exactly at the intended
+    root; output is the parent port ([-1] at the root).  Terminates
+    after eccentricity(root) + O(1) rounds. *)
+val flooding : (bool, state, message, int) Localsim.Algo.t

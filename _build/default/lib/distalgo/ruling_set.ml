@@ -1,0 +1,31 @@
+module Graph = Dsgraph.Graph
+
+let is_ruling_set g ~alpha ~beta sel =
+  Array.length sel = Graph.n g
+  &&
+  let dist = Dsgraph.Power.all_distances g in
+  let n = Graph.n g in
+  let independent = ref true and dominated = ref true in
+  for u = 0 to n - 1 do
+    if sel.(u) then begin
+      for v = u + 1 to n - 1 do
+        if sel.(v) && dist.(u).(v) >= 0 && dist.(u).(v) < alpha then
+          independent := false
+      done
+    end
+    else begin
+      let near = ref false in
+      for v = 0 to n - 1 do
+        if sel.(v) && dist.(u).(v) >= 0 && dist.(u).(v) <= beta then near := true
+      done;
+      if not !near then dominated := false
+    end
+  done;
+  !independent && !dominated
+
+let via_power_mis g ~beta ~seed =
+  let gp = Dsgraph.Power.power g ~r:beta in
+  let sel, power_rounds = Luby.run ~seed gp in
+  if not (is_ruling_set g ~alpha:(beta + 1) ~beta sel) then
+    failwith "Ruling_set.via_power_mis: verification failed";
+  (sel, beta * power_rounds)

@@ -1,0 +1,20 @@
+(** Ruling sets (Section 1 of the paper).
+
+    An (α, β)-ruling set: selected nodes pairwise at distance ≥ α,
+    every node within distance β of a selected one.  MIS = (2, 1);
+    (2, r)-ruling sets relax the domination radius, the "other"
+    relaxation of MIS the paper compares its dominating sets against.
+
+    The construction here is the classic reduction: an MIS of the
+    power graph G^β is a (β+1, β)-ruling set of G (hence in particular
+    a (2, β)-ruling set).  One round of the power graph costs β rounds
+    of G, so the measured round count is scaled accordingly. *)
+
+(** [is_ruling_set g ~alpha ~beta sel] — centralized verifier. *)
+val is_ruling_set : Dsgraph.Graph.t -> alpha:int -> beta:int -> bool array -> bool
+
+(** [via_power_mis g ~beta ~seed] — Luby's MIS on [G^beta]; returns
+    (selection, rounds-in-G = beta × rounds-in-G^beta).  Verified to be
+    a (beta+1, beta)-ruling set.
+    @raise Failure on verification failure (a bug). *)
+val via_power_mis : Dsgraph.Graph.t -> beta:int -> seed:int -> bool array * int

@@ -1,0 +1,1 @@
+lib/dsgraph/check.ml: Array Graph List Orientation

@@ -1,0 +1,1 @@
+lib/dsgraph/check.mli: Graph Orientation

@@ -1,0 +1,1 @@
+lib/dsgraph/edge_coloring.ml: Array Fun Graph Hashtbl List

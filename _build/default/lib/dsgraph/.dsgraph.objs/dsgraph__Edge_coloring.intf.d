@@ -1,0 +1,1 @@
+lib/dsgraph/edge_coloring.mli: Graph

@@ -1,0 +1,1 @@
+lib/dsgraph/graph.ml: Array Buffer Format Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/dsgraph/graph.mli: Format

@@ -1,0 +1,1 @@
+lib/dsgraph/line_graph.ml: Array Graph Hashtbl List

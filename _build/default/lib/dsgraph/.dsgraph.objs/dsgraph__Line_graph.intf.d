@@ -1,0 +1,1 @@
+lib/dsgraph/line_graph.mli: Graph

@@ -1,0 +1,1 @@
+lib/dsgraph/orientation.ml: Array Graph

@@ -1,0 +1,1 @@
+lib/dsgraph/orientation.mli: Graph

@@ -1,0 +1,1 @@
+lib/dsgraph/power.mli: Graph

@@ -1,0 +1,1 @@
+lib/dsgraph/tree_gen.ml: Array Fun Graph Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/dsgraph/tree_gen.mli: Graph

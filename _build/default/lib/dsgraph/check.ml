@@ -1,0 +1,113 @@
+
+let edge_forall g f =
+  let ok = ref true in
+  List.iteri (fun e (u, v) -> if not (f e u v) then ok := false) (Graph.edges g);
+  !ok
+
+let node_forall g f =
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if not (f v) then ok := false
+  done;
+  !ok
+
+let is_independent_set g sel =
+  Array.length sel = Graph.n g
+  && edge_forall g (fun _ u v -> not (sel.(u) && sel.(v)))
+
+let is_dominating_set g sel =
+  Array.length sel = Graph.n g
+  && node_forall g (fun v ->
+         sel.(v)
+         || begin
+              let dominated = ref false in
+              for p = 0 to Graph.degree g v - 1 do
+                if sel.(Graph.neighbor g v p) then dominated := true
+              done;
+              !dominated
+            end)
+
+let is_mis g sel = is_independent_set g sel && is_dominating_set g sel
+
+let induced_degree g sel v =
+  let count = ref 0 in
+  for p = 0 to Graph.degree g v - 1 do
+    if sel.(Graph.neighbor g v p) then incr count
+  done;
+  !count
+
+let is_k_degree_dominating_set g ~k sel =
+  is_dominating_set g sel
+  && node_forall g (fun v -> (not sel.(v)) || induced_degree g sel v <= k)
+
+let is_k_outdegree_dominating_set g ~k sel o =
+  is_dominating_set g sel
+  && edge_forall g (fun e u v ->
+         (not (sel.(u) && sel.(v))) || Orientation.oriented o e)
+  && node_forall g (fun v ->
+         (not sel.(v))
+         ||
+         let out = ref 0 in
+         for p = 0 to Graph.degree g v - 1 do
+           let u = Graph.neighbor g v p in
+           let e = Graph.edge_id g v p in
+           if sel.(u) && Orientation.oriented o e && (o.Orientation.towards.(e) <> v)
+           then incr out
+         done;
+         !out <= k)
+
+let is_proper_coloring ?bound g colors =
+  Array.length colors = Graph.n g
+  && (match bound with
+     | None -> Array.for_all (fun c -> c >= 0) colors
+     | Some b -> Array.for_all (fun c -> c >= 0 && c < b) colors)
+  && edge_forall g (fun _ u v -> colors.(u) <> colors.(v))
+
+let is_defective_coloring g ~k colors =
+  Array.length colors = Graph.n g
+  && node_forall g (fun v ->
+         let same = ref 0 in
+         for p = 0 to Graph.degree g v - 1 do
+           if colors.(Graph.neighbor g v p) = colors.(v) then incr same
+         done;
+         !same <= k)
+
+let is_arbdefective_coloring g ~k colors o =
+  Array.length colors = Graph.n g
+  && edge_forall g (fun e u v ->
+         colors.(u) <> colors.(v) || Orientation.oriented o e)
+  && node_forall g (fun v ->
+         let out = ref 0 in
+         for p = 0 to Graph.degree g v - 1 do
+           let u = Graph.neighbor g v p in
+           let e = Graph.edge_id g v p in
+           if
+             colors.(u) = colors.(v)
+             && Orientation.oriented o e
+             && o.Orientation.towards.(e) <> v
+           then incr out
+         done;
+         !out <= k)
+
+let is_b_matching g ~b sel =
+  Array.length sel = Graph.m g
+  && node_forall g (fun v ->
+         let touched = ref 0 in
+         for p = 0 to Graph.degree g v - 1 do
+           if sel.(Graph.edge_id g v p) then incr touched
+         done;
+         !touched <= b)
+
+let is_maximal_matching g sel =
+  is_b_matching g ~b:1 sel
+  && edge_forall g (fun e u v ->
+         sel.(e)
+         ||
+         let touched w =
+           let hit = ref false in
+           for p = 0 to Graph.degree g w - 1 do
+             if sel.(Graph.edge_id g w p) then hit := true
+           done;
+           !hit
+         in
+         touched u || touched v)

@@ -1,0 +1,48 @@
+(** Verifiers for the graph structures studied in the paper.
+
+    All verifiers are centralized and run in time linear in the graph;
+    they are the ground truth the distributed algorithms and the
+    lower-bound machinery are tested against. *)
+
+
+(** No two adjacent nodes selected. *)
+val is_independent_set : Graph.t -> bool array -> bool
+
+(** Every unselected node has a selected neighbor. *)
+val is_dominating_set : Graph.t -> bool array -> bool
+
+(** Independent and maximal (equivalently: independent dominating). *)
+val is_mis : Graph.t -> bool array -> bool
+
+(** [is_k_degree_dominating_set g ~k s] — [s] dominates [g] and the
+    subgraph induced by [s] has maximum degree at most [k] (Section 1
+    of the paper; [k = 0] is exactly an MIS). *)
+val is_k_degree_dominating_set : Graph.t -> k:int -> bool array -> bool
+
+(** [is_k_outdegree_dominating_set g ~k s o] — [s] dominates [g], every
+    edge of the induced subgraph [g\[s\]] is oriented by [o], and every
+    node of [s] has outdegree at most [k] in [g\[s\]].  Orientations of
+    edges outside [g\[s\]] are ignored. *)
+val is_k_outdegree_dominating_set :
+  Graph.t -> k:int -> bool array -> Orientation.t -> bool
+
+(** Adjacent nodes have distinct colors; colors within [0 .. bound-1]
+    if [bound] is given. *)
+val is_proper_coloring : ?bound:int -> Graph.t -> int array -> bool
+
+(** [is_defective_coloring g ~k colors] — every node has at most [k]
+    neighbors of its own color. *)
+val is_defective_coloring : Graph.t -> k:int -> int array -> bool
+
+(** [is_arbdefective_coloring g ~k colors o] — every same-color edge is
+    oriented and every node has at most [k] same-color out-neighbors. *)
+val is_arbdefective_coloring :
+  Graph.t -> k:int -> int array -> Orientation.t -> bool
+
+(** [is_b_matching g ~b sel] — the selected edge set touches every node
+    at most [b] times. *)
+val is_b_matching : Graph.t -> b:int -> bool array -> bool
+
+(** [is_maximal_matching g sel] — a 1-matching that cannot be extended:
+    every unmatched edge has a matched endpoint. *)
+val is_maximal_matching : Graph.t -> bool array -> bool

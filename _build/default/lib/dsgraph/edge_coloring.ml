@@ -1,0 +1,96 @@
+let color_tree g =
+  if not (Graph.is_tree g) then invalid_arg "Edge_coloring.color_tree: not a tree";
+  let delta = Graph.max_degree g in
+  let colors = Array.make (Graph.m g) (-1) in
+  if Graph.n g = 0 then colors
+  else begin
+    let _, parent = Graph.bfs_parents g 0 in
+    (* Process nodes in BFS order; each node colors the edges to its
+       children with the colors not used by its parent edge, cycling
+       through 0 .. delta - 1. *)
+    let order =
+      let dist = Graph.bfs g 0 in
+      let nodes = List.init (Graph.n g) Fun.id in
+      List.sort (fun a b -> compare dist.(a) dist.(b)) nodes
+    in
+    List.iter
+      (fun v ->
+        let parent_color =
+          if parent.(v) = v then -1
+          else colors.(Graph.edge_id g v (Graph.port_of g v parent.(v)))
+        in
+        let next = ref 0 in
+        for p = 0 to Graph.degree g v - 1 do
+          let u = Graph.neighbor g v p in
+          if u <> parent.(v) then begin
+            if !next = parent_color then incr next;
+            colors.(Graph.edge_id g v p) <- !next mod delta;
+            incr next
+          end
+        done)
+      order;
+    colors
+  end
+
+let is_proper ?bound g colors =
+  if Array.length colors <> Graph.m g then false
+  else
+    let in_range =
+      match bound with
+      | None -> Array.for_all (fun c -> c >= 0) colors
+      | Some b -> Array.for_all (fun c -> c >= 0 && c < b) colors
+    in
+    in_range
+    && begin
+         let clash = ref false in
+         for v = 0 to Graph.n g - 1 do
+           let seen = Hashtbl.create 8 in
+           for p = 0 to Graph.degree g v - 1 do
+             let c = colors.(Graph.edge_id g v p) in
+             if Hashtbl.mem seen c then clash := true;
+             Hashtbl.add seen c ()
+           done
+         done;
+         not !clash
+       end
+
+let greedy g =
+  let m = Graph.m g in
+  let colors = Array.make m (-1) in
+  for e = 0 to m - 1 do
+    let u, v = Graph.endpoints g e in
+    let used = Hashtbl.create 8 in
+    let mark w =
+      for p = 0 to Graph.degree g w - 1 do
+        let c = colors.(Graph.edge_id g w p) in
+        if c >= 0 then Hashtbl.replace used c ()
+      done
+    in
+    mark u;
+    mark v;
+    let c = ref 0 in
+    while Hashtbl.mem used !c do
+      incr c
+    done;
+    colors.(e) <- !c
+  done;
+  colors
+
+let mirrored_ports g colors =
+  let ok = ref true in
+  let perms =
+    Array.init (Graph.n g) (fun v ->
+        let d = Graph.degree g v in
+        let perm = Array.make d (-1) in
+        let seen = Array.make d false in
+        for p = 0 to d - 1 do
+          let c = colors.(Graph.edge_id g v p) in
+          if c < 0 || c >= d || seen.(c) then ok := false
+          else begin
+            seen.(c) <- true;
+            perm.(p) <- c
+          end
+        done;
+        perm)
+  in
+  if !ok then Some (Graph.permute_ports g perms) else None

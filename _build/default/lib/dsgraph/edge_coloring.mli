@@ -1,0 +1,28 @@
+(** Proper edge colorings.
+
+    The paper's key trick (Lemma 9) assumes a Δ-edge coloring given as
+    input.  Trees always admit one with exactly [max_degree] colors
+    (they are Class-1 graphs); {!color_tree} computes it by a rooted
+    traversal. *)
+
+(** [color_tree g] — a proper edge coloring of the tree [g] with colors
+    [0 .. max_degree g - 1], indexed by edge id.
+    @raise Invalid_argument if [g] is not a tree. *)
+val color_tree : Graph.t -> int array
+
+(** [is_proper g coloring] — no two edges sharing an endpoint have the
+    same color, and colors are within [0 .. bound - 1] when [bound] is
+    given. *)
+val is_proper : ?bound:int -> Graph.t -> int array -> bool
+
+(** [greedy g] — proper edge coloring of an arbitrary graph by greedy
+    assignment in edge-id order; uses at most [2·max_degree - 1]
+    colors.  Provided as a fallback for non-tree experiments. *)
+val greedy : Graph.t -> int array
+
+(** [mirrored_ports g coloring] — the adversarial port numbering of
+    Lemma 12: every edge gets its color as the port number {e on both
+    endpoints}.  Only possible when the incident colors of every node
+    form the set [0 .. deg - 1]; returns [None] otherwise (e.g. for
+    leaves whose single edge has a non-zero color). *)
+val mirrored_ports : Graph.t -> int array -> Graph.t option

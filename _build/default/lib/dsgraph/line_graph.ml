@@ -1,0 +1,30 @@
+let of_graph g =
+  let m = Graph.m g in
+  let edges = ref [] in
+  (* Two edges are adjacent iff they share an endpoint: enumerate, for
+     every node, all pairs of incident edges. *)
+  let seen = Hashtbl.create (4 * m) in
+  for v = 0 to Graph.n g - 1 do
+    let d = Graph.degree g v in
+    for p = 0 to d - 1 do
+      for q = p + 1 to d - 1 do
+        let e1 = Graph.edge_id g v p and e2 = Graph.edge_id g v q in
+        let key = (min e1 e2, max e1 e2) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          edges := key :: !edges
+        end
+      done
+    done
+  done;
+  Graph.of_edges ~n:m (List.rev !edges)
+
+let matching_of_mis g mis =
+  if Array.length mis <> Graph.m g then
+    invalid_arg "Line_graph.matching_of_mis: wrong length";
+  Array.copy mis
+
+let max_degree_bound g =
+  List.fold_left
+    (fun acc (u, v) -> max acc (Graph.degree g u + Graph.degree g v - 2))
+    0 (Graph.edges g)

@@ -1,0 +1,23 @@
+(** Line graphs.
+
+    The paper repeatedly contrasts trees with line graphs: an MIS of
+    the line graph of [g] is a maximal matching of [g], b-matchings are
+    bounded-degree analogues, and the strongest known Ω(Δ) MIS lower
+    bounds live on line graphs (Section 5).  This module provides the
+    construction and the correspondence, so those statements can be
+    exercised. *)
+
+(** [of_graph g] — the line graph: one node per edge of [g], two nodes
+    adjacent iff the corresponding edges share an endpoint.  Node [e]
+    of the result corresponds to edge id [e] of [g]. *)
+val of_graph : Graph.t -> Graph.t
+
+(** [matching_of_mis g mis] — interpret an MIS of [of_graph g] as an
+    edge subset of [g] (the correspondence direction used in the
+    paper); the result is a maximal matching of [g] whenever [mis] is
+    an MIS of the line graph. *)
+val matching_of_mis : Graph.t -> bool array -> bool array
+
+(** Expected maximum degree of the line graph:
+    [max over edges (deg u + deg v - 2)]. *)
+val max_degree_bound : Graph.t -> int

@@ -1,0 +1,51 @@
+type t = { graph : Graph.t; towards : int array }
+
+let make g towards =
+  if Array.length towards <> Graph.m g then
+    invalid_arg "Orientation.make: wrong number of edges";
+  Array.iteri
+    (fun e head ->
+      if head <> -1 then begin
+        let u, v = Graph.endpoints g e in
+        if head <> u && head <> v then
+          invalid_arg "Orientation.make: head is not an endpoint"
+      end)
+    towards;
+  { graph = g; towards }
+
+let towards_root ?(root = 0) g =
+  let dist = Graph.bfs g root in
+  let towards =
+    Array.init (Graph.m g) (fun e ->
+        let u, v = Graph.endpoints g e in
+        if dist.(u) < dist.(v) then u else v)
+  in
+  make g towards
+
+let outdegree o v =
+  let g = o.graph in
+  let count = ref 0 in
+  for p = 0 to Graph.degree g v - 1 do
+    let e = Graph.edge_id g v p in
+    if o.towards.(e) <> -1 && o.towards.(e) <> v then incr count
+  done;
+  !count
+
+let max_outdegree o =
+  let best = ref 0 in
+  for v = 0 to Graph.n o.graph - 1 do
+    best := max !best (outdegree o v)
+  done;
+  !best
+
+let oriented o e = o.towards.(e) <> -1
+
+let restrict o keep =
+  let towards =
+    Array.mapi
+      (fun e head ->
+        let u, v = Graph.endpoints o.graph e in
+        if keep u && keep v then head else -1)
+      o.towards
+  in
+  { o with towards }

@@ -1,0 +1,28 @@
+(** Edge orientations.
+
+    An orientation assigns a direction to every edge; [towards.(e)] is
+    the node the edge points {e to} (the head).  k-outdegree dominating
+    sets orient only the edges inside the set; such partial
+    orientations mark unoriented edges with [-1]. *)
+
+type t = { graph : Graph.t; towards : int array }
+
+(** [make g towards] validates every entry is an endpoint of its edge
+    or [-1] (unoriented). *)
+val make : Graph.t -> int array -> t
+
+(** Orientation of a tree with every edge pointing towards the parent
+    (the root is the global sink).  Root defaults to node 0. *)
+val towards_root : ?root:int -> Graph.t -> t
+
+(** Outdegree of [v]: oriented incident edges whose head is not [v]. *)
+val outdegree : t -> int -> int
+
+val max_outdegree : t -> int
+
+(** Is edge [e] oriented? *)
+val oriented : t -> int -> bool
+
+(** [restrict o keep] — keep the orientation only on edges whose both
+    endpoints satisfy [keep]; others become unoriented. *)
+val restrict : t -> (int -> bool) -> t

@@ -1,0 +1,13 @@
+let all_distances g = Array.init (Graph.n g) (fun v -> Graph.bfs g v)
+
+let power g ~r =
+  if r < 1 then invalid_arg "Power.power: r must be >= 1";
+  let dist = all_distances g in
+  let n = Graph.n g in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if dist.(u).(v) >= 1 && dist.(u).(v) <= r then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n (List.rev !edges)

@@ -1,0 +1,16 @@
+(** Graph powers.
+
+    [G^r] connects two distinct nodes iff their distance in [G] is at
+    most [r].  An MIS of [G^r] is a (r+1, r)-ruling set of [G] — the
+    relaxation of MIS the paper contrasts with its own (Section 1:
+    (2, r)-ruling sets relax domination, k-outdegree dominating sets
+    relax independence). *)
+
+(** [power g ~r] — the r-th power (r ≥ 1).  Ports are in neighbor-id
+    order. *)
+val power : Graph.t -> r:int -> Graph.t
+
+(** Pairwise distances from every node, by repeated BFS: distance
+    matrix [d.(u).(v)], [-1] when unreachable.  O(n·m); fine for the
+    simulator-scale instances used here. *)
+val all_distances : Graph.t -> int array array

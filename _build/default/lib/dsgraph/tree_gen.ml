@@ -1,0 +1,189 @@
+(* Generators for the tree families used throughout the benchmarks and
+   tests.  The paper's lower bounds live on Δ-regular trees; finite
+   analogues necessarily have leaves, so "Δ-regular tree" here means
+   every internal node has degree exactly Δ (balanced trees) or degree
+   at most Δ (random trees). *)
+
+let path n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 1 then invalid_arg "Tree_gen.star";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+(* Balanced Δ-regular tree of the given depth: the root has Δ children,
+   every other internal node Δ - 1 children, leaves at distance
+   [depth] from the root. *)
+let balanced ~delta ~depth =
+  if delta < 2 then invalid_arg "Tree_gen.balanced: delta must be >= 2";
+  if depth < 0 then invalid_arg "Tree_gen.balanced: negative depth";
+  let edges = ref [] in
+  let next = ref 1 in
+  let rec grow node level =
+    if level < depth then begin
+      let children = if node = 0 then delta else delta - 1 in
+      for _ = 1 to children do
+        let child = !next in
+        incr next;
+        edges := (node, child) :: !edges;
+        grow child (level + 1)
+      done
+    end
+  in
+  grow 0 0;
+  Graph.of_edges ~n:!next (List.rev !edges)
+
+(* Random tree with maximum degree [max_degree]: nodes join one at a
+   time, attaching to a uniformly random node that still has a free
+   slot. *)
+let random ~n ~max_degree ~seed =
+  if n < 1 then invalid_arg "Tree_gen.random";
+  if max_degree < 2 && n > 2 then invalid_arg "Tree_gen.random: max_degree too small";
+  let rng = Random.State.make [| seed |] in
+  let deg = Array.make n 0 in
+  let available = ref [ 0 ] in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    let avail = Array.of_list !available in
+    let u = avail.(Random.State.int rng (Array.length avail)) in
+    edges := (u, v) :: !edges;
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- 1;
+    available := List.filter (fun w -> deg.(w) < max_degree) !available;
+    if deg.(v) < max_degree then available := v :: !available
+  done;
+  Graph.of_edges ~n (List.rev !edges)
+
+(* Caterpillar: a spine path with [legs] leaves hanging off each spine
+   node — a useful worst case for domination-style problems. *)
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Tree_gen.caterpillar";
+  let n = spine * (1 + legs) in
+  let edges = ref [] in
+  for i = 0 to spine - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  let next = ref spine in
+  for i = 0 to spine - 1 do
+    for _ = 1 to legs do
+      edges := (i, !next) :: !edges;
+      incr next
+    done
+  done;
+  Graph.of_edges ~n (List.rev !edges)
+
+(* Random port permutation of a graph: an adversarial renumbering of
+   every node's ports. *)
+let shuffle_ports g ~seed =
+  let rng = Random.State.make [| seed |] in
+  let perms =
+    Array.init (Graph.n g) (fun v ->
+        let d = Graph.degree g v in
+        let perm = Array.init d Fun.id in
+        for i = d - 1 downto 1 do
+          let j = Random.State.int rng (i + 1) in
+          let tmp = perm.(i) in
+          perm.(i) <- perm.(j);
+          perm.(j) <- tmp
+        done;
+        perm)
+  in
+  Graph.permute_ports g perms
+
+let of_pruefer seq =
+  let n = Array.length seq + 2 in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Tree_gen.of_pruefer: out of range")
+    seq;
+  (* Textbook decoding: repeatedly connect the smallest-index leaf to
+     the next sequence element; a node becomes usable as a leaf once
+     its remaining degree drops to 1. *)
+  let degree = Array.make n 1 in
+  Array.iter (fun v -> degree.(v) <- degree.(v) + 1) seq;
+  let edges = ref [] in
+  let ptr = ref 0 in
+  let advance () =
+    while degree.(!ptr) <> 1 do
+      incr ptr
+    done
+  in
+  advance ();
+  let leaf = ref !ptr in
+  Array.iter
+    (fun s ->
+      edges := (!leaf, s) :: !edges;
+      degree.(!leaf) <- 0;
+      degree.(s) <- degree.(s) - 1;
+      if degree.(s) = 1 && s < !ptr then leaf := s
+      else begin
+        incr ptr;
+        advance ();
+        leaf := !ptr
+      end)
+    seq;
+  (* Exactly two nodes of degree 1 remain, one of them [!leaf]. *)
+  let other = ref (-1) in
+  for v = 0 to n - 1 do
+    if degree.(v) = 1 && v <> !leaf then other := v
+  done;
+  edges := (!leaf, !other) :: !edges;
+  Graph.of_edges ~n (List.rev !edges)
+
+let all_trees n f =
+  if n < 2 || n > 9 then invalid_arg "Tree_gen.all_trees: need 2 <= n <= 9";
+  if n = 2 then f (path 2)
+  else begin
+    let seq = Array.make (n - 2) 0 in
+    let rec go i =
+      if i = n - 2 then f (of_pruefer seq)
+      else
+        for v = 0 to n - 1 do
+          seq.(i) <- v;
+          go (i + 1)
+        done
+    in
+    go 0
+  end
+
+let regular_bipartite ~delta ~half ~seed =
+  if delta < 1 || half < delta then
+    invalid_arg "Tree_gen.regular_bipartite: need 1 <= delta <= half";
+  let rng = Random.State.make [| seed; 0xb1b |] in
+  let shuffled () =
+    let perm = Array.init half Fun.id in
+    for i = half - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- tmp
+    done;
+    perm
+  in
+  (* Left nodes are 0 .. half-1, right nodes half .. 2*half-1; matching
+     c connects left i to right perm_c(i).  Resample a matching if it
+     would duplicate an existing edge. *)
+  let seen = Hashtbl.create (delta * half) in
+  let edges = ref [] in
+  let colors = ref [] in
+  for c = 0 to delta - 1 do
+    let rec attempt tries =
+      if tries > 1000 then
+        failwith "Tree_gen.regular_bipartite: could not avoid duplicates";
+      let perm = shuffled () in
+      let fresh =
+        Array.for_all
+          (fun i -> not (Hashtbl.mem seen (i, perm.(i))))
+          (Array.init half Fun.id)
+      in
+      if fresh then perm else attempt (tries + 1)
+    in
+    let perm = attempt 0 in
+    for i = 0 to half - 1 do
+      Hashtbl.add seen (i, perm.(i)) ();
+      edges := (i, half + perm.(i)) :: !edges;
+      colors := c :: !colors
+    done
+  done;
+  let g = Graph.of_edges ~n:(2 * half) (List.rev !edges) in
+  (g, Array.of_list (List.rev !colors))

@@ -1,0 +1,50 @@
+(** Generators for tree instances.
+
+    The paper's lower bounds are stated on Δ-regular trees; the finite
+    instances generated here have every internal node of degree exactly
+    Δ ({!balanced}) or at most a given bound ({!random}). *)
+
+(** Path on [n] nodes ([n - 1] edges). *)
+val path : int -> Graph.t
+
+(** Star with center [0] and [n - 1] leaves. *)
+val star : int -> Graph.t
+
+(** Balanced Δ-regular tree: the root has Δ children, other internal
+    nodes Δ - 1 children, all leaves at distance [depth].
+    @raise Invalid_argument if [delta < 2] or [depth < 0]. *)
+val balanced : delta:int -> depth:int -> Graph.t
+
+(** Random tree on [n] nodes with maximum degree [max_degree],
+    deterministic in [seed]. *)
+val random : n:int -> max_degree:int -> seed:int -> Graph.t
+
+(** Caterpillar: spine path of length [spine], [legs] leaves per spine
+    node. *)
+val caterpillar : spine:int -> legs:int -> Graph.t
+
+(** Adversarially (uniformly) permute every node's port numbering. *)
+val shuffle_ports : Graph.t -> seed:int -> Graph.t
+
+(** [of_pruefer seq] — the labeled tree on [n = Array.length seq + 2]
+    nodes with the given Prüfer sequence (entries in [0 .. n-1]).
+    Every labeled tree corresponds to exactly one sequence, so
+    enumerating sequences enumerates trees.
+    @raise Invalid_argument on out-of-range entries. *)
+val of_pruefer : int array -> Graph.t
+
+(** [all_trees n f] — call [f] on every labeled tree with [n] nodes
+    (n^(n-2) of them; keep [n ≤ 8]).
+    @raise Invalid_argument if [n < 2] or [n > 9]. *)
+val all_trees : int -> (Graph.t -> unit) -> unit
+
+(** [regular_bipartite ~delta ~half ~seed] — a Δ-regular bipartite
+    graph on [2·half] nodes built as the union of Δ random perfect
+    matchings between the two sides, together with the proper
+    Δ-edge-coloring given by the matching indices.  These are the
+    locally-tree-like regular instances the lower-bound lift lives on
+    (girth ≥ 4 by bipartiteness; check {!Graph.girth} if a larger girth
+    is needed).  Matchings are resampled until no duplicate edge
+    arises.
+    @raise Invalid_argument if [half < delta] or [delta < 1]. *)
+val regular_bipartite : delta:int -> half:int -> seed:int -> Graph.t * int array

@@ -1,0 +1,1 @@
+lib/lcl/encodings.ml: Array Dsgraph Labeling List Printf Relim String

@@ -1,0 +1,1 @@
+lib/lcl/encodings.mli: Dsgraph Labeling Relim

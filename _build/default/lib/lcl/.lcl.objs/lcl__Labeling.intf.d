@@ -1,0 +1,1 @@
+lib/lcl/labeling.mli: Dsgraph Format Relim

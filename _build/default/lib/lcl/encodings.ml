@@ -1,0 +1,84 @@
+module Graph = Dsgraph.Graph
+
+let mis ~delta =
+  Relim.Parse.problem ~name:(Printf.sprintf "MIS(Delta=%d)" delta)
+    ~node:(Printf.sprintf "M^%d\nP O^%d" delta (delta - 1))
+    ~edge:"M [PO]\nO O"
+
+let sinkless_orientation ~delta =
+  Relim.Parse.problem ~name:(Printf.sprintf "SO(Delta=%d)" delta)
+    ~node:(Printf.sprintf "O [IO]^%d" (delta - 1))
+    ~edge:"O I"
+
+let maximal_matching ~delta =
+  Relim.Parse.problem ~name:(Printf.sprintf "MM(Delta=%d)" delta)
+    ~node:(Printf.sprintf "M O^%d\nP^%d" (delta - 1) delta)
+    ~edge:"M M\nO [OP]"
+
+let coloring ~delta ~colors =
+  if colors < 2 then invalid_arg "Encodings.coloring: need at least 2 colors";
+  let name i = Printf.sprintf "C%d" i in
+  let node =
+    String.concat "\n"
+      (List.init colors (fun i -> Printf.sprintf "%s^%d" (name i) delta))
+  in
+  let edge =
+    String.concat "\n"
+      (List.concat
+         (List.init colors (fun i ->
+              List.filteri
+                (fun j _ -> j > i)
+                (List.init colors (fun j -> Printf.sprintf "%s %s" (name i) (name j))))))
+  in
+  Relim.Parse.problem ~name:(Printf.sprintf "%d-coloring(Delta=%d)" colors delta)
+    ~node ~edge
+
+let weak_2_coloring ~delta =
+  (* A node of color A labels one port [a], pointing at a neighbor of
+     color B (and vice versa); the pointer label is only compatible
+     with the other color's labels, which encodes "at least one
+     neighbor has the other color". *)
+  Relim.Parse.problem ~name:(Printf.sprintf "weak2col(Delta=%d)" delta)
+    ~node:(Printf.sprintf "a A^%d\nb B^%d" (delta - 1) (delta - 1))
+    ~edge:"a [Bb]\nb [Aa]\nA [AB]\nB B"
+
+let mis_labeling g mis_sel =
+  if not (Dsgraph.Check.is_mis g mis_sel) then
+    invalid_arg "Encodings.mis_labeling: not an MIS";
+  let mis_problem = mis ~delta:(Graph.max_degree g) in
+  let m = Relim.Alphabet.find mis_problem.alpha "M" in
+  let p = Relim.Alphabet.find mis_problem.alpha "P" in
+  let o = Relim.Alphabet.find mis_problem.alpha "O" in
+  let labels =
+    Array.init (Graph.n g) (fun v ->
+        let d = Graph.degree g v in
+        if mis_sel.(v) then Array.make d m
+        else begin
+          let row = Array.make d o in
+          let pointed = ref false in
+          for port = 0 to d - 1 do
+            if (not !pointed) && mis_sel.(Graph.neighbor g v port) then begin
+              row.(port) <- p;
+              pointed := true
+            end
+          done;
+          row
+        end)
+  in
+  Labeling.make g labels
+
+let orientation_labeling g (orient : Dsgraph.Orientation.t) =
+  let so = sinkless_orientation ~delta:(Graph.max_degree g) in
+  let o_label = Relim.Alphabet.find so.alpha "O" in
+  let i_label = Relim.Alphabet.find so.alpha "I" in
+  let labels =
+    Array.init (Graph.n g) (fun v ->
+        Array.init (Graph.degree g v) (fun port ->
+            let e = Graph.edge_id g v port in
+            let head = orient.Dsgraph.Orientation.towards.(e) in
+            if head = -1 then
+              invalid_arg "Encodings.orientation_labeling: unoriented edge"
+            else if head = v then i_label
+            else o_label))
+  in
+  Labeling.make g labels

@@ -1,0 +1,35 @@
+(** Standard problem encodings in the round-elimination formalism, and
+    converters from combinatorial solutions to labelings.
+
+    All encodings are parameterized by Δ (the node-constraint arity). *)
+
+(** The paper's 3-label MIS encoding (Section 2.2):
+    node [M^Δ | P O^(Δ-1)], edge [M\[PO\] | OO]. *)
+val mis : delta:int -> Relim.Problem.t
+
+(** Sinkless orientation: node [O \[IO\]^(Δ-1)], edge [OI]. *)
+val sinkless_orientation : delta:int -> Relim.Problem.t
+
+(** Maximal matching: node [M O^(Δ-1) | P^Δ], edge [MM | O\[OP\]]. *)
+val maximal_matching : delta:int -> Relim.Problem.t
+
+(** Proper c-coloring: labels [C0 … C(c-1)], node [Ci^Δ], edge [Ci Cj]
+    for [i ≠ j]. *)
+val coloring : delta:int -> colors:int -> Relim.Problem.t
+
+(** Weak 2-coloring: every node must have at least one neighbor of the
+    other color.  Node [Ci \[C0 C1\]^(Δ-1)-with-one-opposite] encoded as
+    two lines. *)
+val weak_2_coloring : delta:int -> Relim.Problem.t
+
+(** [mis_labeling g mis] — turn an MIS (as a membership array) into a
+    labeling of the paper's encoding: members label every port [M];
+    non-members point [P] at their lowest-port MIS neighbor and label
+    the rest [O].
+    @raise Invalid_argument if [mis] is not an MIS of [g]. *)
+val mis_labeling : Dsgraph.Graph.t -> bool array -> Labeling.t
+
+(** [orientation_labeling g o] — labeling of {!sinkless_orientation}:
+    each edge's tail reads [O], its head [I].
+    @raise Invalid_argument if some edge is unoriented. *)
+val orientation_labeling : Dsgraph.Graph.t -> Dsgraph.Orientation.t -> Labeling.t

@@ -1,0 +1,74 @@
+module Graph = Dsgraph.Graph
+
+type t = { graph : Graph.t; labels : int array array }
+
+let make g labels =
+  if Array.length labels <> Graph.n g then
+    invalid_arg "Labeling.make: wrong number of nodes";
+  Array.iteri
+    (fun v row ->
+      if Array.length row <> Graph.degree g v then
+        invalid_arg "Labeling.make: wrong number of ports")
+    labels;
+  { graph = g; labels }
+
+let label_at t ~v ~e =
+  let g = t.graph in
+  let rec go p =
+    if p >= Graph.degree g v then invalid_arg "Labeling.label_at: not incident"
+    else if Graph.edge_id g v p = e then t.labels.(v).(p)
+    else go (p + 1)
+  in
+  go 0
+
+type violation = Node_violation of int | Edge_violation of int
+
+let node_ok boundary (problem : Relim.Problem.t) t v =
+  let config = Relim.Multiset.of_list (Array.to_list t.labels.(v)) in
+  let delta = Relim.Problem.delta problem in
+  let d = Graph.degree t.graph v in
+  if d = delta then Relim.Constr.mem problem.node config
+  else
+    match boundary with
+    | `Exact -> false
+    | `Free -> true
+    | `Extendable ->
+        List.exists
+          (fun line -> Relim.Line.contains_partial line config)
+          (Relim.Constr.lines problem.node)
+
+let edge_ok (problem : Relim.Problem.t) t e =
+  let u, v = Graph.endpoints t.graph e in
+  let pair =
+    Relim.Multiset.of_list [ label_at t ~v:u ~e; label_at t ~v ~e ]
+  in
+  Relim.Constr.mem problem.edge pair
+
+let violations ?(boundary = `Extendable) problem t =
+  let acc = ref [] in
+  for e = Graph.m t.graph - 1 downto 0 do
+    if not (edge_ok problem t e) then acc := Edge_violation e :: !acc
+  done;
+  for v = Graph.n t.graph - 1 downto 0 do
+    if not (node_ok boundary problem t v) then acc := Node_violation v :: !acc
+  done;
+  !acc
+
+let is_valid ?boundary problem t = violations ?boundary problem t = []
+
+let pp_violation fmt = function
+  | Node_violation v -> Format.fprintf fmt "node %d" v
+  | Edge_violation e -> Format.fprintf fmt "edge %d" e
+
+let pp (problem : Relim.Problem.t) fmt t =
+  Format.pp_open_vbox fmt 0;
+  Array.iteri
+    (fun v row ->
+      Format.fprintf fmt "%4d:" v;
+      Array.iter
+        (fun l ->
+          Format.fprintf fmt " %s" (Relim.Alphabet.name problem.alpha l))
+        row;
+      Format.pp_print_cut fmt ())
+    t.labels;
+  Format.pp_close_box fmt ()

@@ -1,0 +1,47 @@
+(** Concrete labelings of a finite graph, checked against a
+    round-elimination problem.
+
+    A labeling assigns an alphabet label to every (node, incident edge)
+    pair — equivalently, to every port of every node.  Checking matches
+    Section 2.2 of the paper: every node's labels must form an allowed
+    node configuration and every edge's two endpoint labels an allowed
+    edge configuration.
+
+    The formalism is stated for Δ-regular (infinite) trees; finite
+    instances have leaves, so nodes of degree [d < Δ] are treated
+    according to [boundary]:
+    - [`Extendable] (default): the node's [d] labels must extend to an
+      allowed configuration (the standard convention for truncating an
+      infinite-tree problem to a finite instance);
+    - [`Exact]: only degree-Δ nodes are accepted;
+    - [`Free]: nodes of degree [d < Δ] are unconstrained (the natural
+      semantics when the instance is a finite truncation of an infinite
+      Δ-regular tree and cut nodes sit on the boundary). *)
+
+type t = {
+  graph : Dsgraph.Graph.t;
+  labels : int array array;  (** [labels.(v).(p)] — label at port p. *)
+}
+
+(** @raise Invalid_argument if the shape does not match the graph. *)
+val make : Dsgraph.Graph.t -> int array array -> t
+
+(** Label of edge [e] as seen from endpoint [v]. *)
+val label_at : t -> v:int -> e:int -> int
+
+type violation =
+  | Node_violation of int  (** Node whose configuration is not allowed. *)
+  | Edge_violation of int  (** Edge whose pair is not allowed. *)
+
+(** All violations of [labeling] w.r.t. [problem]; empty = valid. *)
+val violations :
+  ?boundary:[ `Extendable | `Exact | `Free ] -> Relim.Problem.t -> t -> violation list
+
+val is_valid :
+  ?boundary:[ `Extendable | `Exact | `Free ] -> Relim.Problem.t -> t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Render the labeling with the problem's label names, one node per
+    line: [v: X M M P]. *)
+val pp : Relim.Problem.t -> Format.formatter -> t -> unit

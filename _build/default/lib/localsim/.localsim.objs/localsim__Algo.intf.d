@@ -1,0 +1,1 @@
+lib/localsim/algo.mli: Ctx

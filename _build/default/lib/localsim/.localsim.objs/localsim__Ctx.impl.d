@@ -1,0 +1,1 @@
+lib/localsim/ctx.ml: Array Random

@@ -1,0 +1,1 @@
+lib/localsim/run.ml: Algo Array Ctx Dsgraph Option Printf Random

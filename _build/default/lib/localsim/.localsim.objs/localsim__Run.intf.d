@@ -1,0 +1,1 @@
+lib/localsim/run.mli: Algo Dsgraph

@@ -1,0 +1,1 @@
+lib/localsim/synthesis.ml: Array Dsgraph Hashtbl List Relim Views

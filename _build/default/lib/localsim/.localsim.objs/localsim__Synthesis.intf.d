@@ -1,0 +1,1 @@
+lib/localsim/synthesis.mli: Dsgraph Relim

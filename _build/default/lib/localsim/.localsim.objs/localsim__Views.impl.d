@@ -1,0 +1,1 @@
+lib/localsim/views.ml: Array Buffer Dsgraph Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/localsim/views.mli: Dsgraph

@@ -1,0 +1,16 @@
+type ('input, 'state, 'msg, 'out) t = {
+  name : string;
+  init : Ctx.t -> 'input -> 'state;
+  send : Ctx.t -> 'state -> round:int -> 'msg array;
+  recv : Ctx.t -> 'state -> round:int -> 'msg array -> 'state;
+  output : 'state -> 'out option;
+}
+
+let map_output f algo =
+  {
+    name = algo.name;
+    init = algo.init;
+    send = algo.send;
+    recv = algo.recv;
+    output = (fun s -> Option.map f (algo.output s));
+  }

@@ -1,0 +1,23 @@
+type t = {
+  id : int option;
+  degree : int;
+  delta : int;
+  n : int;
+  edge_colors : int array option;
+  rng : Random.State.t option;
+}
+
+let edge_color ctx port =
+  match ctx.edge_colors with
+  | Some colors -> colors.(port)
+  | None -> invalid_arg "Ctx.edge_color: no edge coloring in input"
+
+let the_id ctx =
+  match ctx.id with
+  | Some id -> id
+  | None -> invalid_arg "Ctx.the_id: anonymous (port-numbering) execution"
+
+let the_rng ctx =
+  match ctx.rng with
+  | Some rng -> rng
+  | None -> invalid_arg "Ctx.the_rng: deterministic execution"

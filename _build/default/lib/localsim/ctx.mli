@@ -1,0 +1,31 @@
+(** Per-node context visible to a distributed algorithm.
+
+    Deliberately {e excludes} the simulator's internal node index: in
+    the port-numbering model nodes are anonymous; in the LOCAL model
+    they see only the (adversarially assigned) identifier in {!id}. *)
+
+type t = {
+  id : int option;
+      (** Unique identifier from [1 .. poly n] in the LOCAL model;
+          [None] in the port-numbering model. *)
+  degree : int;  (** Number of incident edges = number of ports. *)
+  delta : int;  (** Global maximum degree, known to all nodes. *)
+  n : int;  (** Total number of nodes, known to all nodes. *)
+  edge_colors : int array option;
+      (** When an edge coloring is given as input: the color of the
+          edge behind each port. *)
+  rng : Random.State.t option;
+      (** Private random bits (randomized algorithms only). *)
+}
+
+(** Color of the edge at [port].
+    @raise Invalid_argument if no coloring was provided. *)
+val edge_color : t -> int -> int
+
+(** The node's identifier.
+    @raise Invalid_argument in the port-numbering model. *)
+val the_id : t -> int
+
+(** The node's random state.
+    @raise Invalid_argument for deterministic executions. *)
+val the_rng : t -> Random.State.t

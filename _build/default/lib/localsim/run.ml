@@ -1,0 +1,108 @@
+module Graph = Dsgraph.Graph
+
+type 'out result = { outputs : 'out array; rounds : int }
+
+type ids = Anonymous | Sequential | Shuffled of int
+
+let make_ids ids n =
+  match ids with
+  | Anonymous -> Array.make n None
+  | Sequential -> Array.init n (fun v -> Some (v + 1))
+  | Shuffled seed ->
+      let rng = Random.State.make [| seed; 0x1d5 |] in
+      let perm = Array.init n (fun v -> v + 1) in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let tmp = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- tmp
+      done;
+      Array.map (fun id -> Some id) perm
+
+type 'out measured = {
+  result : 'out result;
+  max_message_bits : int;
+  total_messages : int;
+}
+
+let run_generic ~observe ?(ids = Sequential) ?edge_colors ?seed ?max_rounds g
+    ~inputs algo =
+  let n = Graph.n g in
+  let max_rounds = match max_rounds with Some m -> m | None -> (4 * n) + 64 in
+  let delta = Graph.max_degree g in
+  let id_array = make_ids ids n in
+  let ctxs =
+    Array.init n (fun v ->
+        let degree = Graph.degree g v in
+        let colors =
+          Option.map
+            (fun ec -> Array.init degree (fun p -> ec.(Graph.edge_id g v p)))
+            edge_colors
+        in
+        let rng =
+          Option.map (fun s -> Random.State.make [| s; v; 0x5eed |]) seed
+        in
+        { Ctx.id = id_array.(v); degree; delta; n; edge_colors = colors; rng })
+  in
+  if Array.length inputs <> n then invalid_arg "Run.run: wrong inputs length";
+  let states = Array.init n (fun v -> algo.Algo.init ctxs.(v) inputs.(v)) in
+  let all_decided () =
+    Array.for_all (fun s -> algo.Algo.output s <> None) states
+  in
+  let rec loop round =
+    if all_decided () then round
+    else if round >= max_rounds then
+      failwith
+        (Printf.sprintf "Run.run: %s did not terminate within %d rounds"
+           algo.Algo.name max_rounds)
+    else begin
+      let outboxes =
+        Array.init n (fun v ->
+            let msgs = algo.Algo.send ctxs.(v) states.(v) ~round in
+            if Array.length msgs <> Graph.degree g v then
+              failwith
+                (Printf.sprintf "Run.run: %s sent %d messages at a degree-%d node"
+                   algo.Algo.name (Array.length msgs) (Graph.degree g v));
+            Array.iter observe msgs;
+            msgs)
+      in
+      for v = 0 to n - 1 do
+        let inbox =
+          Array.init (Graph.degree g v) (fun p ->
+              let u = Graph.neighbor g v p in
+              let back = Graph.back_port g v p in
+              outboxes.(u).(back))
+        in
+        states.(v) <- algo.Algo.recv ctxs.(v) states.(v) ~round inbox
+      done;
+      loop (round + 1)
+    end
+  in
+  let rounds = loop 0 in
+  let outputs =
+    Array.map
+      (fun s ->
+        match algo.Algo.output s with
+        | Some out -> out
+        | None -> assert false)
+      states
+  in
+  { outputs; rounds }
+
+let no_inputs g = Array.make (Graph.n g) ()
+
+let run ?ids ?edge_colors ?seed ?max_rounds g ~inputs algo =
+  run_generic ~observe:ignore ?ids ?edge_colors ?seed ?max_rounds g ~inputs algo
+
+let run_measured ~bits ?ids ?edge_colors ?seed ?max_rounds g ~inputs algo =
+  let max_bits = ref 0 in
+  let total = ref 0 in
+  let observe m =
+    incr total;
+    let b = bits m in
+    if b > !max_bits then max_bits := b
+  in
+  let result =
+    run_generic ~observe ?ids ?edge_colors ?seed ?max_rounds g ~inputs algo
+  in
+  { result; max_message_bits = !max_bits; total_messages = !total }

@@ -1,0 +1,63 @@
+(** Executor for synchronous algorithms on a graph. *)
+
+type 'out result = {
+  outputs : 'out array;  (** Per node. *)
+  rounds : int;
+      (** Communication rounds executed until every node had decided;
+          0 if all nodes decide from their initial view. *)
+}
+
+(** Identifier assignments for the LOCAL model. *)
+type ids =
+  | Anonymous  (** Port-numbering model: no identifiers. *)
+  | Sequential  (** Node [v] gets id [v + 1]. *)
+  | Shuffled of int  (** Random permutation of [1 .. n], seeded. *)
+
+(** [run ~ids ?edge_colors ?seed ?max_rounds g ~inputs algo] executes
+    [algo] on [g].
+
+    - [inputs]: per-node inputs, indexed by the simulator's node index.
+    - [edge_colors]: optional input edge coloring, indexed by edge id;
+      exposed to each node as per-port colors.
+    - [seed]: enables randomness; each node gets an independent stream
+      derived from the seed (execution is reproducible).
+    - [max_rounds]: defaults to [4 * n + 64].
+
+    @raise Failure if some node has not decided after [max_rounds].
+    @raise Invalid_argument if [inputs] has the wrong length. *)
+val run :
+  ?ids:ids ->
+  ?edge_colors:int array ->
+  ?seed:int ->
+  ?max_rounds:int ->
+  Dsgraph.Graph.t ->
+  inputs:'input array ->
+  ('input, 's, 'm, 'out) Algo.t ->
+  'out result
+
+(** Convenience inputs array for input-free algorithms. *)
+val no_inputs : Dsgraph.Graph.t -> unit array
+
+type 'out measured = {
+  result : 'out result;
+  max_message_bits : int;
+      (** Largest single message, as measured by the caller's [bits]
+          function — the quantity bounded by O(log n) in the CONGEST
+          model. *)
+  total_messages : int;
+}
+
+(** [run_measured ~bits ... g ~inputs algo] — like {!run}, also
+    accounting message sizes so CONGEST compliance can be checked
+    (the paper's lower bounds apply to CONGEST a fortiori; the upper
+    bounds implemented here all use O(log n)-bit messages). *)
+val run_measured :
+  bits:('m -> int) ->
+  ?ids:ids ->
+  ?edge_colors:int array ->
+  ?seed:int ->
+  ?max_rounds:int ->
+  Dsgraph.Graph.t ->
+  inputs:'input array ->
+  ('input, 's, 'm, 'out) Algo.t ->
+  'out measured

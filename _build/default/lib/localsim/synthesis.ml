@@ -1,0 +1,132 @@
+module Graph = Dsgraph.Graph
+
+type instance = { graph : Graph.t; edge_colors : int array option }
+
+type verdict = Algorithm of (string * int array) list | Impossible
+
+(* All rows (one label per port) of length [d] allowed by the node
+   constraint under the boundary semantics. *)
+let candidate_rows boundary (problem : Relim.Problem.t) d =
+  let sigma = Relim.Alphabet.size problem.alpha in
+  let delta = Relim.Problem.delta problem in
+  let rows = ref [] in
+  let row = Array.make (max d 1) 0 in
+  let rec go i =
+    if i = d then begin
+      let config = Relim.Multiset.of_list (Array.to_list (Array.sub row 0 d)) in
+      let ok =
+        if d = delta then Relim.Constr.mem problem.node config
+        else
+          match boundary with
+          | `Exact -> false
+          | `Free -> true
+          | `Extendable ->
+              List.exists
+                (fun line -> Relim.Line.contains_partial line config)
+                (Relim.Constr.lines problem.node)
+      in
+      if ok then rows := Array.sub row 0 d :: !rows
+    end
+    else
+      for l = 0 to sigma - 1 do
+        row.(i) <- l;
+        go (i + 1)
+      done
+  in
+  go 0;
+  List.rev !rows
+
+let search ?(boundary = `Extendable) ~radius (problem : Relim.Problem.t)
+    instances =
+  (* Group every (instance, node) by its view. *)
+  let classes = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iteri
+    (fun inst_idx { graph; edge_colors } ->
+      for v = 0 to Graph.n graph - 1 do
+        let key = Views.view ?edge_colors graph ~radius v in
+        (match Hashtbl.find_opt classes key with
+        | Some members -> Hashtbl.replace classes key ((inst_idx, v) :: members)
+        | None ->
+            order := key :: !order;
+            Hashtbl.replace classes key [ (inst_idx, v) ])
+      done)
+    instances;
+  let class_keys = Array.of_list (List.rev !order) in
+  let class_index = Hashtbl.create 64 in
+  Array.iteri (fun i key -> Hashtbl.add class_index key i) class_keys;
+  let nclasses = Array.length class_keys in
+  let graphs = Array.of_list instances in
+  (* Degree of each class (same for all members by view equality). *)
+  let degree_of_class =
+    Array.map
+      (fun key ->
+        match Hashtbl.find classes key with
+        | (inst, v) :: _ -> Graph.degree graphs.(inst).graph v
+        | [] -> assert false)
+      class_keys
+  in
+  let candidates =
+    Array.map (fun d -> candidate_rows boundary problem d) degree_of_class
+  in
+  (* Precompute, per class, the edges incident to its members, as
+     (other-class, my-port, other-port). *)
+  let node_class =
+    Array.map
+      (fun { graph; edge_colors } ->
+        Array.init (Graph.n graph) (fun v ->
+            Hashtbl.find class_index (Views.view ?edge_colors graph ~radius v)))
+      graphs
+  in
+  let compat =
+    let n = Relim.Alphabet.size problem.alpha in
+    let matrix = Array.make_matrix n n false in
+    List.iter
+      (fun line ->
+        Relim.Line.expand line (fun m ->
+            match Relim.Multiset.to_list m with
+            | [ a; b ] ->
+                matrix.(a).(b) <- true;
+                matrix.(b).(a) <- true
+            | _ -> invalid_arg "Synthesis: edge arity"))
+      (Relim.Constr.lines problem.edge);
+    matrix
+  in
+  let assignment = Array.make nclasses [||] in
+  let assigned = Array.make nclasses false in
+  (* Check all edges whose endpoints' classes are both assigned and at
+     least one endpoint is in class [c]. *)
+  let edges_ok c =
+    let ok = ref true in
+    Array.iteri
+      (fun inst_idx { graph; _ } ->
+        List.iteri
+          (fun e (u, v) ->
+            let cu = node_class.(inst_idx).(u)
+            and cv = node_class.(inst_idx).(v) in
+            if (cu = c || cv = c) && assigned.(cu) && assigned.(cv) then begin
+              let pu = Graph.port_of graph u v and pv = Graph.port_of graph v u in
+              ignore e;
+              let lu = assignment.(cu).(pu) and lv = assignment.(cv).(pv) in
+              if not compat.(lu).(lv) then ok := false
+            end)
+          (Graph.edges graph))
+      graphs;
+    !ok
+  in
+  let rec go c =
+    if c = nclasses then true
+    else
+      List.exists
+        (fun row ->
+          assignment.(c) <- row;
+          assigned.(c) <- true;
+          let ok = edges_ok c && go (c + 1) in
+          if not ok then assigned.(c) <- false;
+          ok)
+        candidates.(c)
+  in
+  if go 0 then
+    Algorithm
+      (Array.to_list (Array.mapi (fun i key -> (key, assignment.(i))) class_keys))
+  else Impossible

@@ -1,0 +1,47 @@
+(** Exhaustive synthesis of T-round deterministic PN algorithms on
+    concrete instances.
+
+    A deterministic T-round algorithm in the anonymous port-numbering
+    model is exactly a function from radius-T views ({!Views}) to
+    output rows (one label per port).  On a {e finite} set of instances
+    the space of such functions is finite, so solvability by {e any}
+    T-round algorithm is decidable by backtracking: assign each view
+    class a row satisfying the node constraint, and check the edge
+    constraint between assigned classes.
+
+    This turns Lemma 12 into a machine-checked statement about concrete
+    adversarial instances — and extends it to any small T: on a
+    mirrored-port even cycle every node has the same view at {e every}
+    radius, so a single class must satisfy all edges and the M/A/P
+    self-incompatibility argument bites exactly as in the paper.
+
+    Views do not model the edge-side port numbers (the "orientation"
+    input that makes the PN model of Section 2.1 slightly stronger), so
+    [Impossible] verdicts are meaningful for the model without that
+    input — which is the model in which Lemma 12 is proved. *)
+
+type instance = {
+  graph : Dsgraph.Graph.t;
+  edge_colors : int array option;  (** Input coloring, if any. *)
+}
+
+type verdict =
+  | Algorithm of (string * int array) list
+      (** A witness: one output row per distinct view. *)
+  | Impossible
+
+(** [search ~boundary ~radius problem instances] — does a single
+    deterministic radius-[radius] algorithm produce a valid labeling on
+    {e every} instance simultaneously?  [boundary] is the node-
+    constraint semantics for nodes of degree < Δ (default
+    [`Extendable]).
+
+    The search enumerates every candidate row per view class
+    (|Σ|^degree, filtered by the node constraint), so keep degrees and
+    alphabets small. *)
+val search :
+  ?boundary:[ `Extendable | `Exact | `Free ] ->
+  radius:int ->
+  Relim.Problem.t ->
+  instance list ->
+  verdict

@@ -1,0 +1,49 @@
+module Graph = Dsgraph.Graph
+
+let view ?edge_colors g ~radius v =
+  if radius < 0 then invalid_arg "Views.view: negative radius";
+  let color v p =
+    match edge_colors with
+    | None -> -1
+    | Some colors -> colors.(Graph.edge_id g v p)
+  in
+  (* [from_port = -1] at the root; deeper levels never unfold back
+     through the arrival edge, and record the arrival back-port (which
+     a message-passing algorithm observes). *)
+  let buf = Buffer.create 256 in
+  let rec go v from_port depth =
+    let d = Graph.degree g v in
+    Buffer.add_string buf (Printf.sprintf "(%d" d);
+    if depth > 0 then
+      for p = 0 to d - 1 do
+        if p <> from_port then begin
+          Buffer.add_string buf
+            (Printf.sprintf "[%d;%d;%d" p (color v p) (Graph.back_port g v p));
+          go (Graph.neighbor g v p) (Graph.back_port g v p) (depth - 1);
+          Buffer.add_char buf ']'
+        end
+      done
+    else if d > 0 then
+      (* Radius exhausted: still record the port colors, which are
+         visible with zero communication. *)
+      for p = 0 to d - 1 do
+        if p <> from_port then
+          Buffer.add_string buf (Printf.sprintf "[%d;%d]" p (color v p))
+      done;
+    Buffer.add_char buf ')'
+  in
+  go v (-1) radius;
+  Buffer.contents buf
+
+let classes ?edge_colors g ~radius =
+  let tbl = Hashtbl.create 64 in
+  for v = Graph.n g - 1 downto 0 do
+    let key = view ?edge_colors g ~radius v in
+    let existing = try Hashtbl.find tbl key with Not_found -> [] in
+    Hashtbl.replace tbl key (v :: existing)
+  done;
+  Hashtbl.fold (fun _ nodes acc -> List.sort compare nodes :: acc) tbl []
+  |> List.sort (fun a b -> compare (List.length b) (List.length a))
+
+let count_distinct ?edge_colors g ~radius =
+  List.length (classes ?edge_colors g ~radius)

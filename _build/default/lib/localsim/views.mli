@@ -1,0 +1,25 @@
+(** Radius-T views in the port-numbering model.
+
+    A T-round deterministic PN algorithm is exactly a function of the
+    node's radius-T view: the tree of ports (and input edge colors)
+    obtained by unfolding the graph for T hops.  Two nodes with equal
+    views must produce equal outputs — the indistinguishability
+    argument behind Lemma 12 (and round-elimination lower bounds in
+    general).
+
+    Views are represented as canonical strings, so equality of views is
+    string equality. *)
+
+(** [view ?edge_colors g ~radius v] — canonical encoding of the
+    radius-[radius] view of [v]: degree, per-port edge color (when a
+    coloring is given) and the recursive view behind each port
+    (unfolding never turns back through the edge it arrived on — on
+    trees this is the subtree; on graphs the universal-cover ball). *)
+val view : ?edge_colors:int array -> Dsgraph.Graph.t -> radius:int -> int -> string
+
+(** Partition the nodes into classes of equal radius-T views; classes
+    are lists of node ids, sorted, largest class first. *)
+val classes : ?edge_colors:int array -> Dsgraph.Graph.t -> radius:int -> int list list
+
+(** Number of distinct views at the given radius. *)
+val count_distinct : ?edge_colors:int array -> Dsgraph.Graph.t -> radius:int -> int

@@ -1,0 +1,1 @@
+lib/relim/alphabet.ml: Array Format Fun Hashtbl Labelset List Printf String

@@ -1,0 +1,1 @@
+lib/relim/alphabet.mli: Format Labelset

@@ -1,0 +1,1 @@
+lib/relim/constr.ml: Format Hashtbl Labelset Line List

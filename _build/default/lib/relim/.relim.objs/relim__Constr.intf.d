@@ -1,0 +1,1 @@
+lib/relim/constr.mli: Alphabet Format Labelset Line Multiset

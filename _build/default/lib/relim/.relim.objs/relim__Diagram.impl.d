@@ -1,0 +1,1 @@
+lib/relim/diagram.ml: Alphabet Array Buffer Constr Format Hashtbl Labelset Line List Multiset Printf Problem

@@ -1,0 +1,1 @@
+lib/relim/diagram.mli: Alphabet Format Labelset Problem

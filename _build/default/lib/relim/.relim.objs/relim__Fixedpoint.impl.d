@@ -1,0 +1,1 @@
+lib/relim/fixedpoint.ml: Iso Labelset Printf Problem Rounde Simplify Zeroround

@@ -1,0 +1,1 @@
+lib/relim/fixedpoint.mli: Labelset Problem

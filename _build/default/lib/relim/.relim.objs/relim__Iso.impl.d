@@ -1,0 +1,1 @@
+lib/relim/iso.ml: Alphabet Array Constr Fun Labelset Line List Problem Util

@@ -1,0 +1,1 @@
+lib/relim/iso.mli: Labelset Problem

@@ -1,0 +1,1 @@
+lib/relim/labelset.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/relim/line.ml: Alphabet Array Format Hashtbl Labelset List Multiset String Util

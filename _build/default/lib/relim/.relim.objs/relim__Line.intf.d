@@ -1,0 +1,1 @@
+lib/relim/line.mli: Alphabet Format Labelset Multiset

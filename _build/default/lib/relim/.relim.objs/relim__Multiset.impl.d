@@ -1,0 +1,1 @@
+lib/relim/multiset.ml: Alphabet Array Format Hashtbl Labelset List

@@ -1,0 +1,1 @@
+lib/relim/multiset.mli: Alphabet Format Labelset

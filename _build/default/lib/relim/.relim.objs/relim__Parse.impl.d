@@ -1,0 +1,1 @@
+lib/relim/parse.ml: Alphabet Constr Hashtbl Labelset Line List Printf Problem String

@@ -1,0 +1,1 @@
+lib/relim/parse.mli: Alphabet Constr Line Problem

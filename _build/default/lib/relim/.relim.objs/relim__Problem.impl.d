@@ -1,0 +1,1 @@
+lib/relim/problem.ml: Alphabet Array Constr Format Labelset Line List String

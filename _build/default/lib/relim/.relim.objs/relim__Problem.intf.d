@@ -1,0 +1,1 @@
+lib/relim/problem.mli: Alphabet Constr Format

@@ -1,0 +1,1 @@
+lib/relim/relax.ml: Array Constr Labelset Line List Multiset Util

@@ -1,0 +1,1 @@
+lib/relim/relax.mli: Constr Labelset Multiset

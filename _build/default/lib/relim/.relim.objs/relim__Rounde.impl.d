@@ -1,0 +1,1 @@
+lib/relim/rounde.ml: Alphabet Array Constr Diagram Hashtbl Labelset Line List Multiset Printf Problem Set Util

@@ -1,0 +1,1 @@
+lib/relim/rounde.mli: Labelset Problem

@@ -1,0 +1,1 @@
+lib/relim/serialize.ml: Buffer Constr Line List Parse Printf Problem String

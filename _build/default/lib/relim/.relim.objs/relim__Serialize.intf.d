@@ -1,0 +1,1 @@
+lib/relim/serialize.mli: Problem

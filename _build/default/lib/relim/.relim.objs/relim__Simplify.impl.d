@@ -1,0 +1,1 @@
+lib/relim/simplify.ml: Alphabet Constr Diagram Labelset Line List Printf Problem

@@ -1,0 +1,1 @@
+lib/relim/simplify.mli: Labelset Problem

@@ -1,0 +1,1 @@
+lib/relim/upperbound.ml: Rounde Simplify Zeroround

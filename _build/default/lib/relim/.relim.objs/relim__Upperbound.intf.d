@@ -1,0 +1,1 @@
+lib/relim/upperbound.mli: Problem

@@ -1,0 +1,1 @@
+lib/relim/util.mli:

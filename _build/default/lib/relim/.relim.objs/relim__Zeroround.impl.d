@@ -1,0 +1,1 @@
+lib/relim/zeroround.ml: Alphabet Array Constr Labelset Line List Multiset Problem

@@ -1,0 +1,1 @@
+lib/relim/zeroround.mli: Labelset Multiset Problem

@@ -1,0 +1,184 @@
+type label = Labelset.label
+
+type t = { alpha : Alphabet.t; geq : bool array array; exact : bool }
+
+let alphabet d = d.alpha
+
+let is_exact d = d.exact
+
+let geq d a b = d.geq.(a).(b)
+
+let gt d a b = d.geq.(a).(b) && not d.geq.(b).(a)
+
+let equivalent d a b = d.geq.(a).(b) && d.geq.(b).(a)
+
+(* Compatibility matrix of an edge constraint: compat.(a).(b) iff the
+   pair {a, b} is an allowed edge configuration. *)
+let compat_matrix p =
+  let n = Alphabet.size p.Problem.alpha in
+  let compat = Array.make_matrix n n false in
+  List.iter
+    (fun line ->
+      match Line.groups line with
+      | [ (s, 2) ] ->
+          Labelset.iter
+            (fun a -> Labelset.iter (fun b -> compat.(a).(b) <- true) s)
+            s
+      | [ (s1, 1); (s2, 1) ] ->
+          Labelset.iter
+            (fun a ->
+              Labelset.iter
+                (fun b ->
+                  compat.(a).(b) <- true;
+                  compat.(b).(a) <- true)
+                s2)
+            s1
+      | _ -> invalid_arg "Diagram: malformed edge line")
+    (Constr.lines p.Problem.edge);
+  compat
+
+let edge_diagram p =
+  let n = Alphabet.size p.Problem.alpha in
+  let compat = compat_matrix p in
+  let geq = Array.make_matrix n n false in
+  (* a >= b iff N(b) subseteq N(a). *)
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let ok = ref true in
+      for c = 0 to n - 1 do
+        if compat.(b).(c) && not compat.(a).(c) then ok := false
+      done;
+      geq.(a).(b) <- !ok
+    done
+  done;
+  { alpha = p.Problem.alpha; geq; exact = true }
+
+let node_diagram ?(expand_limit = 200_000.) p =
+  let n = Alphabet.size p.Problem.alpha in
+  let node = p.Problem.node in
+  let geq = Array.make_matrix n n false in
+  let exact = Constr.expansion_estimate node <= expand_limit in
+  if exact then begin
+    let tbl = Hashtbl.create 4096 in
+    List.iter (fun m -> Hashtbl.replace tbl m ()) (Constr.expand node);
+    let configs = Hashtbl.fold (fun m () acc -> m :: acc) tbl [] in
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        geq.(a).(b) <-
+          List.for_all
+            (fun m ->
+              (not (Multiset.mem b m))
+              || Hashtbl.mem tbl (Multiset.replace_one ~remove:b ~add:a m))
+            configs
+      done
+    done
+  end
+  else begin
+    (* Condensed-level sound approximation: a >= b holds if, for every
+       line L and every group of L containing b, the line obtained by
+       substituting one slot of that group with {a} is covered by a
+       single line of the constraint. May miss relations whose image
+       family is split across several lines. *)
+    let lines = Constr.lines node in
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        geq.(a).(b) <-
+          List.for_all
+            (fun line ->
+              List.for_all
+                (fun (s, c) ->
+                  if not (Labelset.mem b s) then true
+                  else begin
+                    let rest =
+                      List.map
+                        (fun (s', c') -> if Labelset.equal s' s then (s', c' - 1) else (s', c'))
+                        (Line.groups line)
+                      |> List.filter (fun (_, c') -> c' > 0)
+                    in
+                    let substituted =
+                      Line.make ((Labelset.singleton a, 1) :: rest)
+                    in
+                    ignore c;
+                    Constr.covers_line node substituted
+                  end)
+                (Line.groups line))
+            lines
+      done
+    done
+  end;
+  { alpha = p.Problem.alpha; geq; exact }
+
+let above d l =
+  let n = Alphabet.size d.alpha in
+  let acc = ref Labelset.empty in
+  for a = 0 to n - 1 do
+    if a <> l && d.geq.(a).(l) then acc := Labelset.add a !acc
+  done;
+  !acc
+
+let is_right_closed d s =
+  Labelset.for_all (fun l -> Labelset.subset (above d l) s) s
+
+let right_closed_sets d =
+  let n = Alphabet.size d.alpha in
+  if n > 22 then
+    failwith "Diagram.right_closed_sets: too many labels";
+  let universe = Labelset.full n in
+  List.filter (is_right_closed d) (Labelset.nonempty_subsets universe)
+
+let minimal_elements d s =
+  Labelset.filter
+    (fun l ->
+      Labelset.for_all (fun l' -> l' = l || not (gt d l l')) s)
+    s
+
+let hasse_edges d =
+  let n = Alphabet.size d.alpha in
+  let edges = ref [] in
+  for weaker = 0 to n - 1 do
+    for stronger = 0 to n - 1 do
+      if stronger <> weaker && d.geq.(stronger).(weaker) then begin
+        (* Transitive reduction: keep the edge unless an intermediate
+           strictly-between label exists. *)
+        let intermediate = ref false in
+        for mid = 0 to n - 1 do
+          if
+            mid <> weaker && mid <> stronger
+            && d.geq.(mid).(weaker)
+            && d.geq.(stronger).(mid)
+            && not (equivalent d mid weaker)
+            && not (equivalent d stronger mid)
+          then intermediate := true
+        done;
+        if not !intermediate then edges := (weaker, stronger) :: !edges
+      end
+    done
+  done;
+  List.rev !edges
+
+let pp fmt d =
+  let edges = hasse_edges d in
+  if edges = [] then Format.pp_print_string fmt "(no relations)"
+  else
+    Format.fprintf fmt "@[<v>%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt (w, s) ->
+           Format.fprintf fmt "%a -> %a" (Alphabet.pp_label d.alpha) w
+             (Alphabet.pp_label d.alpha) s))
+      edges
+
+let to_dot ?(name = "diagram") d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=BT;\n" name);
+  List.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\";\n" (Alphabet.name d.alpha l)))
+    (Alphabet.labels d.alpha);
+  List.iter
+    (fun (weaker, stronger) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n" (Alphabet.name d.alpha weaker)
+           (Alphabet.name d.alpha stronger)))
+    (hasse_edges d);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

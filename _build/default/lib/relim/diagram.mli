@@ -1,0 +1,58 @@
+(** Label-strength diagrams (Section 2.3 of the paper).
+
+    Label [A] is {e at least as strong as} [B] w.r.t. a constraint 𝒞 if
+    replacing one occurrence of [B] by [A] in any configuration of 𝒞
+    yields a configuration of 𝒞.  The edge diagram uses the edge
+    constraint, the node diagram the node constraint (Figs. 1, 4, 5). *)
+
+type t
+
+type label = Labelset.label
+
+(** Strength preorder w.r.t. the edge constraint.  Exact (edge
+    constraints have arity 2 and expand trivially). *)
+val edge_diagram : Problem.t -> t
+
+(** Strength preorder w.r.t. the node constraint.  Exact when the node
+    constraint expands within [expand_limit] concrete configurations
+    (default 200_000); otherwise falls back to a sound condensed-level
+    approximation that may miss relations (never invents them).
+    [exact_node_diagram] reports which case applied. *)
+val node_diagram : ?expand_limit:float -> Problem.t -> t
+
+val is_exact : t -> bool
+
+val alphabet : t -> Alphabet.t
+
+(** [geq d a b] — [a] is at least as strong as [b]. *)
+val geq : t -> label -> label -> bool
+
+(** Strictly stronger. *)
+val gt : t -> label -> label -> bool
+
+val equivalent : t -> label -> label -> bool
+
+(** Labels at least as strong as [l], excluding [l] itself; this is the
+    "successors" notion used for right-closedness. *)
+val above : t -> label -> Labelset.t
+
+(** Is the set closed under taking stronger labels? *)
+val is_right_closed : t -> Labelset.t -> bool
+
+(** All non-empty right-closed subsets of the alphabet, in increasing
+    bitset order. *)
+val right_closed_sets : t -> Labelset.t list
+
+(** Minimal (weakest) elements of a set: members with no strictly
+    weaker member in the set. *)
+val minimal_elements : t -> Labelset.t -> Labelset.t
+
+(** Transitively-reduced edges (weaker, stronger) for display, matching
+    the paper's figures.  Equivalent labels produce a two-cycle. *)
+val hasse_edges : t -> (label * label) list
+
+val pp : Format.formatter -> t -> unit
+
+(** GraphViz rendering of the Hasse reduction (edges point from weaker
+    to stronger labels, as in the paper's figures). *)
+val to_dot : ?name:string -> t -> string

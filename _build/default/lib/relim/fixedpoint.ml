@@ -1,0 +1,37 @@
+type verdict =
+  | Fixed_point of Problem.t * (Labelset.label * Labelset.label) list
+  | Reaches_fixed_point of int * Problem.t
+  | No_fixed_point_found of Problem.t
+
+let detect ?(max_steps = 5) ?expand_limit p =
+  let p0 = Simplify.normalize p in
+  let { Rounde.problem = first; _ } = Rounde.step ?expand_limit p0 in
+  let first = Simplify.normalize first in
+  match Iso.find_renaming first p0 with
+  | Some assoc -> Fixed_point (p0, assoc)
+  | None ->
+      let rec iterate prev i =
+        if i > max_steps then No_fixed_point_found prev
+        else begin
+          let { Rounde.problem = next; _ } = Rounde.step ?expand_limit prev in
+          let next = Simplify.normalize next in
+          if Iso.equal_up_to_renaming next prev then
+            Reaches_fixed_point (i, prev)
+          else iterate next (i + 1)
+        end
+      in
+      iterate first 2
+
+let lower_bound_statement verdict =
+  let from_problem p =
+    if Zeroround.solvable_arbitrary_ports p = None then
+      Some
+        (Printf.sprintf
+           "problem %s is a non-trivial fixed point: Omega(log n) deterministic \
+            and Omega(log log n) randomized LOCAL lower bounds"
+           p.Problem.name)
+    else None
+  in
+  match verdict with
+  | Fixed_point (p, _) | Reaches_fixed_point (_, p) -> from_problem p
+  | No_fixed_point_found _ -> None

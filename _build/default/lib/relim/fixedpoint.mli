@@ -1,0 +1,32 @@
+(** Fixed-point detection for round elimination.
+
+    If a non-0-round-solvable problem Π satisfies [R̄(R(Π)) ≅ Π] (after
+    normalization), then no finite chain of speedup steps ever reaches
+    a 0-round-solvable problem, which by the standard argument yields
+    Ω(log n) deterministic and Ω(log log n) randomized lower bounds in
+    the LOCAL model (the "fixed points" technique of Section 1.2; the
+    canonical example is sinkless orientation [Brandt et al. '16]). *)
+
+type verdict =
+  | Fixed_point of Problem.t * (Labelset.label * Labelset.label) list
+      (** [R̄(R(Π))] is isomorphic to Π (normalized); the witnessing
+          renaming maps labels of the speedup result to labels of the
+          normalized input, which is returned. *)
+  | Reaches_fixed_point of int * Problem.t
+      (** Iterating the speedup step stabilized after the given number
+          of steps on the given problem. *)
+  | No_fixed_point_found of Problem.t
+      (** Not stabilized within the step budget; the last problem
+          reached is returned. *)
+
+(** [detect ?normalize_first ?max_steps ?expand_limit p] iterates
+    [R̄ ∘ R] (normalizing after each step) looking for stabilization up
+    to renaming.
+    @raise Failure if a step exceeds the engine's budgets. *)
+val detect :
+  ?max_steps:int -> ?expand_limit:float -> Problem.t -> verdict
+
+(** Convenience: [Some (det, rand)] lower-bound statement strings when
+    a fixed point (immediate or eventual) was found and the fixed
+    problem is not 0-round solvable under arbitrary ports. *)
+val lower_bound_statement : verdict -> string option

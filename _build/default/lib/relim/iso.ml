@@ -1,0 +1,65 @@
+type label = Labelset.label
+
+(* Signature of a label inside a problem: how often it occurs in node /
+   edge lines, with which group sizes — any renaming must preserve it. *)
+let signature (p : Problem.t) l =
+  let occurrences constr =
+    List.concat_map
+      (fun line ->
+        List.filter_map
+          (fun (s, c) ->
+            if Labelset.mem l s then Some (Labelset.cardinal s, c) else None)
+          (Line.groups line))
+      (Constr.lines constr)
+    |> List.sort compare
+  in
+  (occurrences p.node, occurrences p.edge)
+
+let remap_problem (p : Problem.t) (alpha' : Alphabet.t) mapping =
+  let remap_set s =
+    Labelset.fold (fun l acc -> Labelset.add mapping.(l) acc) s Labelset.empty
+  in
+  let remap = Constr.map_lines (Line.map_syms remap_set) in
+  Problem.make ~name:p.name ~alpha:alpha' ~node:(remap p.node) ~edge:(remap p.edge)
+
+let find_renaming (a : Problem.t) (b : Problem.t) =
+  let na = Alphabet.size a.alpha and nb = Alphabet.size b.alpha in
+  if na <> nb then None
+  else begin
+    let sig_a = Array.init na (signature a) in
+    let sig_b = Array.init nb (signature b) in
+    let labels_a = List.init na Fun.id in
+    let labels_b = List.init nb Fun.id in
+    let found = ref None in
+    let check assoc =
+      let mapping = Array.make na (-1) in
+      List.iter (fun (la, lb) -> mapping.(la) <- lb) assoc;
+      let renamed = remap_problem a b.alpha mapping in
+      if Constr.equal renamed.node b.node && Constr.equal renamed.edge b.edge
+      then begin
+        found := Some assoc;
+        true
+      end
+      else false
+    in
+    let compatible assoc =
+      List.for_all (fun (la, lb) -> sig_a.(la) = sig_b.(lb)) assoc
+    in
+    let _ =
+      Util.exists_bijection labels_a labels_b (fun assoc ->
+          compatible assoc && check assoc)
+    in
+    !found
+  end
+
+let equal_up_to_renaming a b = find_renaming a b <> None
+
+let apply_renaming (p : Problem.t) pairs =
+  let n = Alphabet.size p.alpha in
+  let new_names =
+    List.init n (fun l ->
+        let old = Alphabet.name p.alpha l in
+        match List.assoc_opt old pairs with Some fresh -> fresh | None -> old)
+  in
+  let alpha' = Alphabet.create new_names in
+  remap_problem p alpha' (Array.init n Fun.id)

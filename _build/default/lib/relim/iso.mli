@@ -1,0 +1,25 @@
+(** Problem isomorphism: equality up to a bijective renaming of labels.
+
+    Used to verify the paper's "after renaming" claims (e.g. Lemma 6:
+    [R(Π_Δ(a,x))] equals a hand-stated 8-label problem after the given
+    renaming). *)
+
+type label = Labelset.label
+
+(** [find_renaming a b] searches for a bijection σ from [a]'s labels to
+    [b]'s labels such that applying σ to [a]'s node and edge
+    constraints yields exactly [b]'s (as sets of configurations).
+    Returns the bijection as an association list of labels, or [None].
+    Backtracking with degree-signature pruning; alphabets beyond ~12
+    labels may be slow. *)
+val find_renaming : Problem.t -> Problem.t -> (label * label) list option
+
+(** [equal_up_to_renaming a b] — convenience wrapper. *)
+val equal_up_to_renaming : Problem.t -> Problem.t -> bool
+
+(** [apply_renaming p pairs] renames [p]'s labels: label [l] of [p]
+    becomes the label named [List.assoc (name l) pairs] (names not
+    listed are kept).  The alphabet is rebuilt with the new names in
+    the same index order.
+    @raise Invalid_argument if renaming creates duplicates. *)
+val apply_renaming : Problem.t -> (string * string) list -> Problem.t

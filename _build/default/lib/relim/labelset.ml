@@ -1,0 +1,76 @@
+type t = int
+
+type label = int
+
+let max_label = 60
+
+let empty = 0
+
+let is_empty s = s = 0
+
+let check_label l =
+  if l < 0 || l >= max_label then
+    invalid_arg (Printf.sprintf "Labelset: label %d out of range" l)
+
+let full n =
+  if n < 0 || n > max_label then invalid_arg "Labelset.full";
+  (1 lsl n) - 1
+
+let singleton l =
+  check_label l;
+  1 lsl l
+
+let mem l s = (s lsr l) land 1 = 1
+
+let add l s = s lor singleton l
+
+let remove l s = s land lnot (singleton l)
+
+let union a b = a lor b
+
+let inter a b = a land b
+
+let diff a b = a land lnot b
+
+let subset a b = a land lnot b = 0
+
+let equal a b = a = b
+
+let strict_subset a b = subset a b && a <> b
+
+let compare (a : int) (b : int) = compare a b
+
+let cardinal s =
+  let rec count acc s = if s = 0 then acc else count (acc + 1) (s land (s - 1)) in
+  count 0 s
+
+let elements s =
+  let rec go l acc = if l < 0 then acc else go (l - 1) (if mem l s then l :: acc else acc) in
+  go (max_label - 1) []
+
+let of_list ls = List.fold_left (fun acc l -> add l acc) empty ls
+
+let fold f s init = List.fold_left (fun acc l -> f l acc) init (elements s)
+
+let iter f s = List.iter f (elements s)
+
+let for_all p s = List.for_all p (elements s)
+
+let exists p s = List.exists p (elements s)
+
+let filter p s = fold (fun l acc -> if p l then add l acc else acc) s empty
+
+let choose s = if s = 0 then raise Not_found else
+  let rec go l = if mem l s then l else go (l + 1) in
+  go 0
+
+let nonempty_subsets s =
+  (* Iterate sub-bitsets of [s] with the standard [(x - 1) land s] trick. *)
+  let rec go x acc = if x = 0 then acc else go ((x - 1) land s) (x :: acc) in
+  go s []
+
+let hash (s : int) = Hashtbl.hash s
+
+let of_bits b = b
+
+let to_bits s = s

@@ -1,0 +1,103 @@
+type label = Labelset.label
+
+(* Sorted by label, counts strictly positive. *)
+type t = (label * int) array
+
+let of_counts pairs =
+  List.iter (fun (_, c) -> if c < 0 then invalid_arg "Multiset.of_counts") pairs;
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (l, c) ->
+      let cur = try Hashtbl.find tbl l with Not_found -> 0 in
+      Hashtbl.replace tbl l (cur + c))
+    pairs;
+  let items = Hashtbl.fold (fun l c acc -> if c > 0 then (l, c) :: acc else acc) tbl [] in
+  Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) items)
+
+let of_list ls = of_counts (List.map (fun l -> (l, 1)) ls)
+
+let counts m = Array.to_list m
+
+let to_list m =
+  List.concat_map (fun (l, c) -> List.init c (fun _ -> l)) (counts m)
+
+let size m = Array.fold_left (fun acc (_, c) -> acc + c) 0 m
+
+let count m l =
+  let rec go i =
+    if i >= Array.length m then 0
+    else
+      let l', c = m.(i) in
+      if l' = l then c else if l' > l then 0 else go (i + 1)
+  in
+  go 0
+
+let mem l m = count m l > 0
+
+let support m = Array.fold_left (fun acc (l, _) -> Labelset.add l acc) Labelset.empty m
+
+let add l m = of_counts ((l, 1) :: counts m)
+
+let remove_one l m =
+  if not (mem l m) then raise Not_found;
+  of_counts (List.map (fun (l', c) -> if l' = l then (l', c - 1) else (l', c)) (counts m))
+
+let replace_one ~remove ~add:a m = add a (remove_one remove m)
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = compare a b
+
+let hash (m : t) = Hashtbl.hash m
+
+let sub_multisets m f =
+  let n = Array.length m in
+  let chosen = Array.make n 0 in
+  let rec go i =
+    if i = n then begin
+      let pairs = ref [] in
+      for j = n - 1 downto 0 do
+        if chosen.(j) > 0 then pairs := (fst m.(j), chosen.(j)) :: !pairs
+      done;
+      f (Array.of_list !pairs)
+    end
+    else
+      for c = 0 to snd m.(i) do
+        chosen.(i) <- c;
+        go (i + 1)
+      done
+  in
+  go 0
+
+let sub_multisets_of_size k m f =
+  let n = Array.length m in
+  let chosen = Array.make n 0 in
+  let suffix_max = Array.make (n + 1) 0 in
+  for i = n - 1 downto 0 do
+    suffix_max.(i) <- suffix_max.(i + 1) + snd m.(i)
+  done;
+  let rec go i remaining =
+    if remaining > suffix_max.(i) then ()
+    else if i = n then begin
+      let pairs = ref [] in
+      for j = n - 1 downto 0 do
+        if chosen.(j) > 0 then pairs := (fst m.(j), chosen.(j)) :: !pairs
+      done;
+      f (Array.of_list !pairs)
+    end
+    else
+      for c = 0 to min remaining (snd m.(i)) do
+        chosen.(i) <- c;
+        go (i + 1) (remaining - c)
+      done
+  in
+  go 0 k
+
+let pp alpha fmt m =
+  let pp_item fmt (l, c) =
+    if c = 1 then Alphabet.pp_label alpha fmt l
+    else Format.fprintf fmt "%a^%d" (Alphabet.pp_label alpha) l c
+  in
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_item fmt (counts m)
+
+let to_string alpha m = Format.asprintf "%a" (pp alpha) m

@@ -1,0 +1,132 @@
+let fail fmt = Printf.ksprintf failwith fmt
+
+type token = { atom : string list; count : int }
+(* [atom] is the list of label names of the group (singleton for a bare
+   label), [count] its multiplicity. *)
+
+let split_lines s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char ';')
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+
+let bracket_content content =
+  let content = String.trim content in
+  if content = "" then fail "empty disjunction []"
+  else if String.contains content ' ' then
+    String.split_on_char ' ' content |> List.filter (fun s -> s <> "")
+  else List.init (String.length content) (fun i -> String.make 1 content.[i])
+
+(* Tokenize one configuration line into groups. *)
+let tokenize line_str =
+  let n = String.length line_str in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let read_count () =
+    (* Parse an optional ^k suffix at position !i. *)
+    if !i < n && line_str.[!i] = '^' then begin
+      incr i;
+      let start = !i in
+      while !i < n && line_str.[!i] >= '0' && line_str.[!i] <= '9' do
+        incr i
+      done;
+      if !i = start then fail "expected integer after ^ in %S" line_str;
+      int_of_string (String.sub line_str start (!i - start))
+    end
+    else 1
+  in
+  while !i < n do
+    let c = line_str.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '[' then begin
+      let close =
+        match String.index_from_opt line_str !i ']' with
+        | Some j -> j
+        | None -> fail "unclosed [ in %S" line_str
+      in
+      let content = String.sub line_str (!i + 1) (close - !i - 1) in
+      i := close + 1;
+      let count = read_count () in
+      tokens := { atom = bracket_content content; count } :: !tokens
+    end
+    else begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = line_str.[!i] in
+        c <> ' ' && c <> '\t' && c <> '[' && c <> ']' && c <> '^'
+      do
+        incr i
+      done;
+      if !i = start then fail "unexpected character %C in %S" c line_str;
+      let name = String.sub line_str start (!i - start) in
+      let count = read_count () in
+      tokens := { atom = [ name ]; count } :: !tokens
+    end
+  done;
+  List.rev !tokens
+
+let scan_labels s =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun line_str ->
+      List.iter
+        (fun { atom; _ } ->
+          List.iter
+            (fun name ->
+              if not (Hashtbl.mem seen name) then begin
+                Hashtbl.add seen name ();
+                order := name :: !order
+              end)
+            atom)
+        (tokenize line_str))
+    (split_lines s);
+  List.rev !order
+
+let line alpha s =
+  let groups =
+    List.map
+      (fun { atom; count } ->
+        let set =
+          List.fold_left
+            (fun acc name ->
+              match Alphabet.find alpha name with
+              | l -> Labelset.add l acc
+              | exception Not_found -> fail "unknown label %S in %S" name s)
+            Labelset.empty atom
+        in
+        (set, count))
+      (tokenize s)
+  in
+  if groups = [] then fail "empty configuration";
+  Line.make groups
+
+let constr alpha ~arity s =
+  let lines_str = split_lines s in
+  if lines_str = [] then fail "empty constraint";
+  let lines = List.map (line alpha) lines_str in
+  List.iter2
+    (fun l str ->
+      if Line.arity l <> arity then
+        fail "configuration %S has arity %d, expected %d" str (Line.arity l) arity)
+    lines lines_str;
+  Constr.make lines
+
+let problem ~name ~node ~edge =
+  let names = scan_labels node @ scan_labels edge in
+  let names =
+    List.fold_left (fun acc n -> if List.mem n acc then acc else n :: acc) [] names
+    |> List.rev
+  in
+  let alpha = Alphabet.create names in
+  let node_lines = List.map (line alpha) (split_lines node) in
+  let delta =
+    match node_lines with
+    | [] -> fail "empty node constraint"
+    | first :: _ -> Line.arity first
+  in
+  let node = constr alpha ~arity:delta node in
+  let edge = constr alpha ~arity:2 edge in
+  Problem.make ~name ~alpha ~node ~edge

@@ -1,0 +1,30 @@
+type label = Labelset.label
+
+let multiset_relaxes ~leq y z =
+  let ys = Array.of_list (Multiset.counts y) in
+  let zs = Array.of_list (Multiset.counts z) in
+  Util.transport_feasible
+    ~supply:(Array.map snd ys)
+    ~demand:(Array.map snd zs)
+    ~allowed:(fun i j -> leq (fst ys.(i)) (fst zs.(j)))
+
+(* Exact even for disjunction groups: every slot of a group picks its
+   own witness label independently, so per-slot existential matching is
+   precisely the relaxation condition. *)
+let multiset_relaxes_into_line ~leq y line =
+  let ys = Array.of_list (Multiset.counts y) in
+  let groups = Array.of_list (Line.groups line) in
+  Util.transport_feasible
+    ~supply:(Array.map snd ys)
+    ~demand:(Array.map snd groups)
+    ~allowed:(fun i j ->
+      Labelset.exists (fun z -> leq (fst ys.(i)) z) (fst groups.(j)))
+
+let multiset_relaxes_into_constr ~leq y c =
+  List.exists (multiset_relaxes_into_line ~leq y) (Constr.lines c)
+
+let constr_relaxes ?(limit = 2e6) ~leq a b =
+  let configs = Constr.expand ~limit a in
+  List.for_all (fun y -> multiset_relaxes_into_constr ~leq y b) configs
+
+let label_equal (a : label) (b : label) = a = b

@@ -1,0 +1,35 @@
+(** Relaxations of configurations (Definition 7 of the paper).
+
+    A configuration [Y₁ … Y_Δ] relaxes to [Z₁ … Z_Δ] when some
+    permutation ρ satisfies [Yᵢ ≤ Z_ρ(i)] for all [i], where [≤] is a
+    caller-supplied partial order on labels — set inclusion of
+    denotations in the round-elimination setting, where labels of
+    [R(Π)] / [R̄(Π)] outputs stand for sets of base labels.
+
+    Replacing a configuration by a relaxation is a 0-round output
+    transformation: each node independently rewrites its own output. *)
+
+type label = Labelset.label
+
+(** [multiset_relaxes ~leq y z] — does the concrete configuration [y]
+    relax to the concrete configuration [z]?  Decided as a
+    transportation feasibility problem. *)
+val multiset_relaxes :
+  leq:(label -> label -> bool) -> Multiset.t -> Multiset.t -> bool
+
+(** [multiset_relaxes_into_constr ~leq y c] — does [y] relax to some
+    concrete configuration of [c]?  [c]'s lines must be concrete
+    (singleton groups); for such lines the group-level transport with
+    [leq]-compatibility is exact. *)
+val multiset_relaxes_into_constr :
+  leq:(label -> label -> bool) -> Multiset.t -> Constr.t -> bool
+
+(** [constr_relaxes ~leq a b] — does every concrete configuration of
+    [a] relax into some configuration of [b]?  Expands [a] (guarded by
+    [limit], default 2e6).
+    @raise Failure if the expansion is too large. *)
+val constr_relaxes :
+  ?limit:float -> leq:(label -> label -> bool) -> Constr.t -> Constr.t -> bool
+
+(** Reflexive-by-equality order used for plain problems. *)
+val label_equal : label -> label -> bool

@@ -1,0 +1,263 @@
+type denoted = { problem : Problem.t; denotations : Labelset.t array }
+
+(* Compatibility matrix of the edge constraint (symmetric). *)
+let compat_matrix (p : Problem.t) =
+  let n = Alphabet.size p.alpha in
+  let compat = Array.make_matrix n n false in
+  List.iter
+    (fun line ->
+      Line.expand line (fun m ->
+          match Multiset.to_list m with
+          | [ a; b ] ->
+              compat.(a).(b) <- true;
+              compat.(b).(a) <- true
+          | _ -> invalid_arg "Rounde: edge line of arity <> 2"))
+    (Constr.lines p.edge);
+  compat
+
+(* [neighbors compat n s] = the set of labels compatible with every
+   member of [s]. *)
+let neighbors compat n s =
+  let acc = ref Labelset.empty in
+  for b = 0 to n - 1 do
+    if Labelset.for_all (fun a -> compat.(a).(b)) s then acc := Labelset.add b !acc
+  done;
+  !acc
+
+(* Build a fresh alphabet whose label [i] denotes the label set
+   [denots.(i)] of [base]. *)
+let intern_sets base denots =
+  let names = Array.to_list (Array.map (Alphabet.set_name base) denots) in
+  Alphabet.create names
+
+let r (p : Problem.t) =
+  let n = Alphabet.size p.alpha in
+  let compat = compat_matrix p in
+  (* Maximal valid pairs are the closed pairs of the Galois connection
+     S ↦ neighbors(S): collect (N(N(S)), N(S)) over all non-empty S. *)
+  let module LS = Set.Make (struct
+    type t = Labelset.t * Labelset.t
+
+    let compare (a1, a2) (b1, b2) =
+      match Labelset.compare a1 b1 with 0 -> Labelset.compare a2 b2 | c -> c
+  end) in
+  let pairs = ref LS.empty in
+  List.iter
+    (fun s ->
+      let t = neighbors compat n s in
+      if not (Labelset.is_empty t) then begin
+        let s' = neighbors compat n t in
+        let pair =
+          if Labelset.compare s' t <= 0 then (s', t) else (t, s')
+        in
+        pairs := LS.add pair !pairs
+      end)
+    (Labelset.nonempty_subsets (Labelset.full n));
+  let pairs = LS.elements !pairs in
+  (* New alphabet: all sets occurring in maximal pairs. *)
+  let module SS = Set.Make (struct
+    type t = Labelset.t
+
+    let compare = Labelset.compare
+  end) in
+  let sets =
+    List.fold_left (fun acc (a, b) -> SS.add a (SS.add b acc)) SS.empty pairs
+  in
+  let denots = Array.of_list (SS.elements sets) in
+  if Array.length denots > Labelset.max_label then
+    failwith "Rounde.r: output alphabet exceeds the label budget";
+  let alpha' = intern_sets p.alpha denots in
+  let index_of =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i s -> Hashtbl.add tbl (Labelset.to_bits s) i) denots;
+    fun s -> Hashtbl.find tbl (Labelset.to_bits s)
+  in
+  let edge_lines =
+    List.map
+      (fun (a, b) ->
+        let ia = index_of a and ib = index_of b in
+        if ia = ib then Line.make [ (Labelset.singleton ia, 2) ]
+        else Line.make [ (Labelset.singleton ia, 1); (Labelset.singleton ib, 1) ])
+      pairs
+  in
+  (* Node constraint: replace each original label y by the disjunction
+     of new labels whose denotation contains y; group-wise this is the
+     set of new labels intersecting the group's symbol set. *)
+  let new_labels_meeting s_old =
+    let acc = ref Labelset.empty in
+    Array.iteri
+      (fun i denot ->
+        if not (Labelset.is_empty (Labelset.inter denot s_old)) then
+          acc := Labelset.add i !acc)
+      denots;
+    !acc
+  in
+  let node_lines =
+    List.filter_map
+      (fun line ->
+        let groups = Line.groups line in
+        if
+          List.for_all
+            (fun (s, _) -> not (Labelset.is_empty (new_labels_meeting s)))
+            groups
+        then
+          Some (Line.make (List.map (fun (s, c) -> (new_labels_meeting s, c)) groups))
+        else None)
+      (Constr.lines p.node)
+  in
+  let problem =
+    Problem.make
+      ~name:(Printf.sprintf "R(%s)" p.name)
+      ~alpha:alpha' ~node:(Constr.make node_lines)
+      ~edge:(Constr.make edge_lines)
+  in
+  { problem; denotations = denots }
+
+(* --- R̄ ---------------------------------------------------------- *)
+
+module MsTbl = Hashtbl.Make (struct
+  type t = Multiset.t
+
+  let equal = Multiset.equal
+
+  let hash = Multiset.hash
+end)
+
+(* All valid "boxes": multisets (B₁ … B_Δ) of right-closed label sets
+   such that every choice (b₁ … b_Δ) ∈ B₁ × … × B_Δ is an allowed node
+   configuration.  Enumerated by DFS over right-closed sets in
+   non-decreasing order, pruning with the set of all sub-multisets of
+   allowed configurations. *)
+let valid_boxes (p : Problem.t) ~expand_limit =
+  let delta = Problem.delta p in
+  if Constr.expansion_estimate p.node > expand_limit then
+    failwith "Rounde.rbar: node constraint expansion too large";
+  let configs = Constr.expand ~limit:expand_limit p.node in
+  (* Sub-multiset membership table for pruning. *)
+  let subs = MsTbl.create 65536 in
+  List.iter
+    (fun m -> Multiset.sub_multisets m (fun sub -> MsTbl.replace subs sub ()))
+    configs;
+  let diagram = Diagram.node_diagram p in
+  let rc = Array.of_list (Diagram.right_closed_sets diagram) in
+  let minimals = Array.map (Diagram.minimal_elements diagram) rc in
+  let boxes = ref [] in
+  (* [partials] is the list of distinct minimal-choice multisets of the
+     current prefix; all are sub-multisets of allowed configurations. *)
+  let rec go depth lo (box : int list) partials =
+    if depth = delta then boxes := List.rev_map (fun i -> rc.(i)) box :: !boxes
+    else
+      for i = lo to Array.length rc - 1 do
+        let extended = MsTbl.create 64 in
+        let all_ok = ref true in
+        List.iter
+          (fun partial ->
+            Labelset.iter
+              (fun m ->
+                let next = Multiset.add m partial in
+                if MsTbl.mem subs next then MsTbl.replace extended next ()
+                else all_ok := false)
+              minimals.(i))
+          partials;
+        if !all_ok then begin
+          let partials' = MsTbl.fold (fun k () acc -> k :: acc) extended [] in
+          go (depth + 1) i (i :: box) partials'
+        end
+      done
+  in
+  go 0 0 [] [ Multiset.of_list [] ];
+  !boxes
+
+(* Does box [a] (multiset of label sets) dominate box [b]:  a ≠ b and a
+   permutation matches every Bᵢ of [b] into a superset in [a]? *)
+let box_leq a b =
+  (* a ≤ b iff each set of a maps injectively to a superset in b. *)
+  let a = Array.of_list a and b = Array.of_list b in
+  Util.transport_feasible
+    ~supply:(Array.map (fun _ -> 1) a)
+    ~demand:(Array.map (fun _ -> 1) b)
+    ~allowed:(fun i j -> Labelset.subset a.(i) b.(j))
+
+let box_equal a b =
+  List.equal Labelset.equal
+    (List.sort Labelset.compare a)
+    (List.sort Labelset.compare b)
+
+let maximal_boxes boxes =
+  List.filter
+    (fun b ->
+      not
+        (List.exists
+           (fun b' -> (not (box_equal b b')) && box_leq b b')
+           boxes))
+    boxes
+
+let rbar ?(expand_limit = 2e6) (p : Problem.t) =
+  if Alphabet.size p.alpha > 20 then
+    failwith "Rounde.rbar: too many labels (right-closed-set enumeration infeasible)";
+  let boxes = maximal_boxes (valid_boxes p ~expand_limit) in
+  if boxes = [] then failwith "Rounde.rbar: empty node constraint";
+  (* New alphabet: the distinct sets used in maximal boxes. *)
+  let module SS = Set.Make (struct
+    type t = Labelset.t
+
+    let compare = Labelset.compare
+  end) in
+  let sets =
+    List.fold_left
+      (fun acc box -> List.fold_left (fun acc s -> SS.add s acc) acc box)
+      SS.empty boxes
+  in
+  let denots = Array.of_list (SS.elements sets) in
+  if Array.length denots > Labelset.max_label then
+    failwith "Rounde.rbar: output alphabet exceeds the label budget";
+  let alpha'' = intern_sets p.alpha denots in
+  let index_of =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i s -> Hashtbl.add tbl (Labelset.to_bits s) i) denots;
+    fun s -> Hashtbl.find tbl (Labelset.to_bits s)
+  in
+  let node_lines =
+    List.map
+      (fun box ->
+        Line.make
+          (List.map (fun s -> (Labelset.singleton (index_of s), 1)) box))
+      boxes
+  in
+  (* Edge constraint: pairs of used sets admitting a compatible choice
+     in the old edge constraint. *)
+  let compat = compat_matrix p in
+  let choice_compatible s1 s2 =
+    Labelset.exists (fun a -> Labelset.exists (fun b -> compat.(a).(b)) s2) s1
+  in
+  let edge_lines = ref [] in
+  Array.iteri
+    (fun i si ->
+      Array.iteri
+        (fun j sj ->
+          if i <= j && choice_compatible si sj then
+            edge_lines :=
+              (if i = j then Line.make [ (Labelset.singleton i, 2) ]
+               else
+                 Line.make
+                   [ (Labelset.singleton i, 1); (Labelset.singleton j, 1) ])
+              :: !edge_lines)
+        denots)
+    denots;
+  if !edge_lines = [] then failwith "Rounde.rbar: empty edge constraint";
+  let problem =
+    Problem.make
+      ~name:(Printf.sprintf "Rbar(%s)" p.name)
+      ~alpha:alpha'' ~node:(Constr.make node_lines)
+      ~edge:(Constr.make !edge_lines)
+  in
+  { problem; denotations = denots }
+
+let step ?expand_limit p =
+  let { problem = p'; _ } = r p in
+  let { problem = p''; denotations } = rbar ?expand_limit p' in
+  (* No trim needed: every label of [rbar]'s output occurs in its node
+     constraint by construction, so trimming would be a no-op and would
+     desynchronize [denotations]. *)
+  { problem = { p'' with name = Printf.sprintf "step(%s)" p.Problem.name };
+    denotations }

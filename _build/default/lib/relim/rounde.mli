@@ -1,0 +1,42 @@
+(** The automatic round-elimination operators R(·) and R̄(·) of
+    Brandt's speedup theorem, as specified in Section 2.3 of the paper.
+
+    Given Π with complexity T (on high-girth Δ-regular graphs in the
+    port-numbering model), [rbar (r Π)] has complexity exactly
+    [max (T - 1) 0] (Theorem 3).
+
+    [r] works at the condensed level and is cheap for any Δ.  [rbar]
+    must enumerate maximal "boxes" of label sets and requires expanding
+    the node constraint; it is feasible for small Δ (roughly Δ ≤ 8 with
+    up to ~8 labels) — the same practical envelope as the
+    round-eliminator tool.  For the paper's problem family at large Δ,
+    the symbolic machinery in the [core] library replaces the explicit
+    computation (Lemma 8). *)
+
+type denoted = {
+  problem : Problem.t;
+  denotations : Labelset.t array;
+      (** [denotations.(l)] is the set of labels of the {e input}
+          problem that new label [l] stands for. *)
+}
+
+(** [r p] computes Π' = R(Π): the edge constraint consists of all
+    maximal pairs (A₁, A₂) of non-empty label sets whose members are
+    pairwise compatible in ℰ_Π; the node constraint is obtained by
+    replacing every label with the disjunction of the new labels
+    containing it. *)
+val r : Problem.t -> denoted
+
+(** [rbar p'] computes Π'' = R̄(Π'): the node constraint consists of
+    all maximal configurations (B₁ … B_Δ) of non-empty label sets all
+    of whose choices lie in 𝒩_Π'; the edge constraint contains every
+    pair of used sets admitting a compatible choice.
+
+    @param expand_limit guards the node-constraint expansion (default
+    2e6 concrete configurations).
+    @raise Failure if the expansion exceeds the limit. *)
+val rbar : ?expand_limit:float -> Problem.t -> denoted
+
+(** [step p] is [rbar (r p)], trimmed, with a composed name.  The
+    denotations relate labels of the result to labels of [r p]. *)
+val step : ?expand_limit:float -> Problem.t -> denoted

@@ -1,0 +1,41 @@
+let to_string (p : Problem.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("problem " ^ p.name ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "delta %d\n" (Problem.delta p));
+  Buffer.add_string buf "node:\n";
+  List.iter
+    (fun line -> Buffer.add_string buf (Line.to_string p.alpha line ^ "\n"))
+    (Constr.lines p.node);
+  Buffer.add_string buf "edge:\n";
+  List.iter
+    (fun line -> Buffer.add_string buf (Line.to_string p.alpha line ^ "\n"))
+    (Constr.lines p.edge);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s |> List.map String.trim in
+  let name = ref "problem" in
+  let node = Buffer.create 64 in
+  let edge = Buffer.create 64 in
+  let target = ref None in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line > 8 && String.sub line 0 8 = "problem " then
+        name := String.sub line 8 (String.length line - 8)
+      else if String.length line > 6 && String.sub line 0 6 = "delta " then ()
+        (* informational; the arity is recomputed from the node lines *)
+      else if line = "node:" then target := Some `Node
+      else if line = "edge:" then target := Some `Edge
+      else
+        match !target with
+        | Some `Node ->
+            Buffer.add_string node line;
+            Buffer.add_char node '\n'
+        | Some `Edge ->
+            Buffer.add_string edge line;
+            Buffer.add_char edge '\n'
+        | None -> failwith ("Serialize.of_string: unexpected line " ^ line))
+    lines;
+  Parse.problem ~name:!name ~node:(Buffer.contents node)
+    ~edge:(Buffer.contents edge)

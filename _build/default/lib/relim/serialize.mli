@@ -1,0 +1,24 @@
+(** Round-trippable textual serialization of problems.
+
+    The format is the same syntax {!Parse} accepts, with a small
+    header; it is what the CLI reads and writes:
+
+    {v
+    problem MIS
+    delta 3
+    node:
+    M^3
+    P O^2
+    edge:
+    M [PO]
+    O^2
+    v} *)
+
+(** Render a problem in the parseable format.  Labels that occur in no
+    configuration are not rendered, so a round-trip is equivalent to
+    {!Problem.trim}. *)
+val to_string : Problem.t -> string
+
+(** Parse the format back.
+    @raise Failure on malformed input. *)
+val of_string : string -> Problem.t

@@ -1,0 +1,73 @@
+type label = Labelset.label
+
+let merge (p : Problem.t) ~from_ ~into_ =
+  let lf = Alphabet.find p.alpha from_ in
+  let li = Alphabet.find p.alpha into_ in
+  if lf = li then invalid_arg "Simplify.merge: labels coincide";
+  let rewrite_set s =
+    if Labelset.mem lf s then Labelset.add li (Labelset.remove lf s) else s
+  in
+  let rewrite = Constr.map_lines (Line.map_syms rewrite_set) in
+  Problem.trim
+    {
+      p with
+      Problem.name = Printf.sprintf "%s[%s->%s]" p.name from_ into_;
+      node = rewrite p.node;
+      edge = rewrite p.edge;
+    }
+
+let merge_is_sound ?expand_limit (p : Problem.t) ~from_ ~into_ =
+  let lf = Alphabet.find p.alpha from_ in
+  let li = Alphabet.find p.alpha into_ in
+  let edge = Diagram.edge_diagram p in
+  let node = Diagram.node_diagram ?expand_limit p in
+  Diagram.geq edge li lf && Diagram.geq node li lf
+
+let merge_equivalent ?expand_limit (p : Problem.t) =
+  let edge = Diagram.edge_diagram p in
+  let node = Diagram.node_diagram ?expand_limit p in
+  let n = Alphabet.size p.alpha in
+  let pair = ref None in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if
+        !pair = None
+        && Diagram.equivalent edge a b
+        && Diagram.equivalent node a b
+      then pair := Some (a, b)
+    done
+  done;
+  match !pair with
+  | None -> p
+  | Some (a, b) ->
+      merge p ~from_:(Alphabet.name p.alpha b) ~into_:(Alphabet.name p.alpha a)
+
+let drop_redundant_lines (p : Problem.t) =
+  let prune constr =
+    let lines = Constr.lines constr in
+    let keep line =
+      not
+        (List.exists
+           (fun other ->
+             (not (Line.equal other line)) && Line.covers other line)
+           lines)
+    in
+    (* When two lines cover each other (identical denotations in
+       different condensed forms) keep the first. *)
+    let rec go kept = function
+      | [] -> List.rev kept
+      | line :: rest ->
+          if
+            keep line
+            || not
+                 (List.exists
+                    (fun other -> Line.covers other line)
+                    (kept @ rest))
+          then go (line :: kept) rest
+          else go kept rest
+    in
+    Constr.make (go [] lines)
+  in
+  { p with Problem.node = prune p.node; edge = prune p.edge }
+
+let normalize p = Problem.trim (drop_redundant_lines p)

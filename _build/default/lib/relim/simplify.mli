@@ -1,0 +1,42 @@
+(** Simplification operations on problems.
+
+    Round elimination blows up the label count doubly exponentially
+    (Section 1.2 of the paper); all known lower-bound proofs interleave
+    speedup steps with {e simplifications} that shrink the description
+    again.  A simplification must only make the problem {e easier} (or
+    keep it equivalent): a solution of the original must convert to a
+    solution of the simplified problem in 0 rounds.  The operations
+    here are the standard ones from the round-eliminator tool. *)
+
+type label = Labelset.label
+
+(** [merge p ~from_ ~into_] replaces every occurrence of [from_] by
+    [into_] and drops [from_] from the alphabet.  This is a {e
+    relaxation} (the simplified problem is at most as hard) whenever
+    [into_] is at least as strong as [from_] in both diagrams; the
+    function performs the merge unconditionally — see
+    {!merge_is_sound}. *)
+val merge : Problem.t -> from_:string -> into_:string -> Problem.t
+
+(** Is merging [from_] into [into_] sound, i.e. is [into_] at least as
+    strong as [from_] w.r.t. both the edge and the node constraint?
+    (Then any valid labeling stays valid after the rewrite, so the
+    merged problem is solvable whenever the original is.)
+    Node-constraint strength uses the exact diagram when the constraint
+    expands within [expand_limit]. *)
+val merge_is_sound :
+  ?expand_limit:float -> Problem.t -> from_:string -> into_:string -> bool
+
+(** Merge every pair of labels that is {e equivalent} in both diagrams
+    (mutually at-least-as-strong); sound and lossless.  Returns the
+    problem unchanged if no pair qualifies. *)
+val merge_equivalent : ?expand_limit:float -> Problem.t -> Problem.t
+
+(** Remove constraint lines that are covered by another line of the
+    same constraint (they denote only configurations another line
+    already allows); the problem is unchanged semantically. *)
+val drop_redundant_lines : Problem.t -> Problem.t
+
+(** [normalize p] — [drop_redundant_lines], then {!Problem.trim}.  A
+    cheap canonicalization used before isomorphism checks. *)
+val normalize : Problem.t -> Problem.t

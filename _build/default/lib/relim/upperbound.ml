@@ -1,0 +1,12 @@
+type outcome = Solvable_in of int | Unknown_after of int
+
+let search ?(max_steps = 4) ?expand_limit p =
+  let rec go p steps =
+    if Zeroround.solvable_arbitrary_ports p <> None then Solvable_in steps
+    else if steps >= max_steps then Unknown_after steps
+    else
+      match Rounde.step ?expand_limit p with
+      | { Rounde.problem = next; _ } -> go (Simplify.normalize next) (steps + 1)
+      | exception Failure _ -> Unknown_after steps
+  in
+  go (Simplify.normalize p) 0

@@ -1,0 +1,72 @@
+let compat_matrix (p : Problem.t) =
+  let n = Alphabet.size p.alpha in
+  let compat = Array.make_matrix n n false in
+  List.iter
+    (fun line ->
+      Line.expand line (fun m ->
+          match Multiset.to_list m with
+          | [ a; b ] ->
+              compat.(a).(b) <- true;
+              compat.(b).(a) <- true
+          | _ -> invalid_arg "Zeroround: edge line of arity <> 2"))
+    (Constr.lines p.edge);
+  compat
+
+let self_compatible p =
+  let compat = compat_matrix p in
+  let n = Alphabet.size p.alpha in
+  let acc = ref Labelset.empty in
+  for l = 0 to n - 1 do
+    if compat.(l).(l) then acc := Labelset.add l !acc
+  done;
+  !acc
+
+(* Pick, for each group of [line], [count] labels from [pool ∩ syms];
+   returns a witness configuration or [None] if some group has an empty
+   intersection with the pool. *)
+let pick_from_pool line pool =
+  let rec go acc = function
+    | [] -> Some (Multiset.of_counts acc)
+    | (s, c) :: rest ->
+        let usable = Labelset.inter s pool in
+        if Labelset.is_empty usable then None
+        else go ((Labelset.choose usable, c) :: acc) rest
+  in
+  go [] (Line.groups line)
+
+let solvable_mirrored p =
+  let pool = self_compatible p in
+  List.find_map (fun line -> pick_from_pool line pool) (Constr.lines p.node)
+
+let solvable_arbitrary_ports p =
+  let compat = compat_matrix p in
+  let n = Alphabet.size p.alpha in
+  let is_clique s =
+    Labelset.for_all (fun a -> Labelset.for_all (fun b -> compat.(a).(b)) s) s
+  in
+  let cliques =
+    List.filter is_clique (Labelset.nonempty_subsets (Labelset.full n))
+  in
+  let lines = Constr.lines p.node in
+  List.find_map
+    (fun clique ->
+      List.find_map
+        (fun line ->
+          (* Every slot must draw from the clique. *)
+          match pick_from_pool line clique with
+          | Some witness
+            when Labelset.subset (Multiset.support witness) clique ->
+              Some witness
+          | Some _ | None -> None)
+        lines)
+    cliques
+
+let randomized_failure_bound ?(limit = 2e6) p =
+  match solvable_mirrored p with
+  | Some _ -> None
+  | None ->
+      let configs = Constr.expand ~limit p.node in
+      let c = List.length configs in
+      let delta = Problem.delta p in
+      let denom = float_of_int (c * delta) in
+      Some (1. /. (denom *. denom))

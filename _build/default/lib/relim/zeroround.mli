@@ -1,0 +1,41 @@
+(** Deciders for 0-round solvability in the port-numbering model
+    (Lemmas 12 and 15 of the paper, stated for arbitrary problems).
+
+    In the PN model a 0-round deterministic algorithm sees nothing but
+    its degree (and global parameters), so all nodes output the same
+    configuration with the same assignment of labels to ports.  Two
+    adversarial port numberings are considered:
+
+    - {e mirrored} ports (the paper's Lemma 12 construction, where the
+      input Δ-edge coloring doubles as the port numbering on both
+      endpoints): an edge with color [i] sees the label at port [i] on
+      both sides, so solvability requires a configuration in which the
+      label assigned to each port is compatible with itself;
+    - {e arbitrary} ports: an edge may connect any port to any other,
+      so the multiset of labels used must be pairwise (and self-)
+      compatible. *)
+
+(** [solvable_mirrored p] returns a witness configuration in which
+    every label is self-compatible, or [None] if no allowed node
+    configuration has that property (hence 0 rounds are insufficient
+    under the mirrored-port adversary, even given the edge coloring). *)
+val solvable_mirrored : Problem.t -> Multiset.t option
+
+(** [solvable_arbitrary_ports p] returns a witness configuration whose
+    support is a self-compatible clique in the edge-compatibility
+    graph, or [None]. *)
+val solvable_arbitrary_ports : Problem.t -> Multiset.t option
+
+(** Lemma 15 generalized: when [solvable_mirrored p = None], every
+    allowed configuration contains a label that is not self-compatible,
+    and any randomized 0-round algorithm fails with probability at
+    least [1 / (c·Δ)²] on the mirrored-port instance, where [c] is the
+    number of concrete allowed node configurations.  Returns that bound
+    ([None] when the problem is 0-round solvable).  The paper's family
+    has [c = 3], giving the bound [1/(3Δ)² ≥ 1/Δ⁸] used by Theorem 14.
+    @raise Failure if the node constraint expansion exceeds [limit]
+    (default 2e6). *)
+val randomized_failure_bound : ?limit:float -> Problem.t -> float option
+
+(** Labels compatible with themselves under the edge constraint. *)
+val self_compatible : Problem.t -> Labelset.t

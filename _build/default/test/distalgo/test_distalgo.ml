@@ -1,0 +1,453 @@
+(* Tests for the distributed algorithms. *)
+
+open Distalgo
+module Graph = Dsgraph.Graph
+module Tree_gen = Dsgraph.Tree_gen
+module Check = Dsgraph.Check
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let count sel = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 sel
+
+(* ------------------------------------------------------------------ *)
+(* Luby                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_luby_path () =
+  let g = Tree_gen.path 50 in
+  let mis, rounds = Luby.run ~seed:1 g in
+  check_bool "is MIS" true (Check.is_mis g mis);
+  check_bool "nontrivial" true (count mis >= 50 / 3);
+  check_bool "terminates briskly" true (rounds <= 60)
+
+let test_luby_star () =
+  let g = Tree_gen.star 100 in
+  let mis, _ = Luby.run ~seed:7 g in
+  check_bool "is MIS" true (Check.is_mis g mis);
+  (* Star MIS: either the center alone or all leaves. *)
+  check_bool "structure" true (count mis = 1 || count mis = 99)
+
+let test_luby_single_node () =
+  let g = Tree_gen.path 1 in
+  let mis, rounds = Luby.run g in
+  check_bool "selected" true mis.(0);
+  check_int "immediate... after one phase" rounds rounds
+
+let luby_qcheck =
+  [
+    QCheck.Test.make ~name:"luby-always-mis" ~count:25
+      QCheck.(triple (int_range 2 150) (int_range 2 8) (int_range 0 1000))
+      (fun (n, max_degree, seed) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed in
+        let mis, _ = Luby.run ~seed g in
+        Check.is_mis g mis);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rooting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_parent_ports () =
+  let g = Tree_gen.balanced ~delta:3 ~depth:2 in
+  let pp = Rooted.parent_ports g ~root:0 in
+  check_int "root has no parent" (-1) pp.(0);
+  for v = 1 to Graph.n g - 1 do
+    let parent = Graph.neighbor g v pp.(v) in
+    check_bool "parent is closer to the root" true
+      ((Graph.bfs g 0).(parent) = (Graph.bfs g 0).(v) - 1)
+  done
+
+let test_flooding_matches_centralized () =
+  let g = Tree_gen.random ~n:60 ~max_degree:5 ~seed:11 in
+  let inputs = Array.init (Graph.n g) (fun v -> v = 0) in
+  let result =
+    Localsim.Run.run ~ids:Localsim.Run.Anonymous g ~inputs Rooted.flooding
+  in
+  let expected = Rooted.parent_ports g ~root:0 in
+  Alcotest.(check (array int)) "parents" expected result.Localsim.Run.outputs;
+  check_bool "rounds ~ eccentricity" true
+    (result.Localsim.Run.rounds <= Graph.eccentricity g 0 + 2)
+
+(* ------------------------------------------------------------------ *)
+(* Cole–Vishkin                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cv_basic () =
+  let g = Tree_gen.balanced ~delta:3 ~depth:4 in
+  let colors, rounds = Cole_vishkin.run g ~root:0 in
+  check_bool "proper 3-coloring" true (Check.is_proper_coloring ~bound:3 g colors);
+  check_int "rounds = schedule" (Cole_vishkin.schedule_length (Graph.n g)) rounds
+
+let test_cv_rounds_growth () =
+  (* cv_rounds grows extremely slowly (log*-ish). *)
+  check_bool "monotone-ish" true (Cole_vishkin.cv_rounds 10 <= Cole_vishkin.cv_rounds 1000000);
+  check_bool "tiny for huge n" true (Cole_vishkin.cv_rounds 1000000000 <= 8);
+  check_int "trivial for n <= 6" 0 (Cole_vishkin.cv_rounds 6)
+
+let test_cv_single_node () =
+  let g = Tree_gen.path 1 in
+  let colors, _ = Cole_vishkin.run g ~root:0 in
+  check_bool "in palette" true (colors.(0) >= 0 && colors.(0) < 3)
+
+let cv_qcheck =
+  [
+    QCheck.Test.make ~name:"cv-always-3-colors" ~count:20
+      QCheck.(pair (int_range 2 250) (int_range 2 8))
+      (fun (n, max_degree) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed:(n * max_degree) in
+        let colors, _ = Cole_vishkin.run g ~root:0 in
+        Check.is_proper_coloring ~bound:3 g colors);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Color-class selection                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_mis_from_coloring () =
+  let g = Tree_gen.path 9 in
+  let colors = Array.init 9 (fun v -> v mod 2) in
+  let mis, rounds = Color_to_ds.mis_of_proper_coloring g colors in
+  check_bool "is MIS" true (Check.is_mis g mis);
+  check_int "rounds = palette" 2 rounds;
+  (* Color-0 nodes all join (they are an independent set considered
+     first). *)
+  check_bool "greedy structure" true (mis.(0) && mis.(2) && not mis.(1))
+
+let test_mis_on_tree_pipeline () =
+  let g = Tree_gen.random ~n:300 ~max_degree:6 ~seed:5 in
+  let mis, rounds = Kods.mis_on_tree g ~root:0 in
+  check_bool "is MIS" true (Check.is_mis g mis);
+  check_bool "rounds = CV + palette" true
+    (rounds <= Cole_vishkin.schedule_length 300 + 3)
+
+(* ------------------------------------------------------------------ *)
+(* Defective colorings                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_palette_size () =
+  check_int "k=0 full palette" 9 (Defective.palette_size ~delta:8 ~k:0);
+  check_int "k=1" 5 (Defective.palette_size ~delta:8 ~k:1);
+  check_int "k=delta" 1 (Defective.palette_size ~delta:8 ~k:8)
+
+let test_defective () =
+  let g = Tree_gen.random ~n:200 ~max_degree:7 ~seed:23 in
+  List.iter
+    (fun k ->
+      let colors = Defective.defective g ~k in
+      check_bool
+        (Printf.sprintf "k=%d defective" k)
+        true
+        (Check.is_defective_coloring g ~k colors))
+    [ 0; 1; 2; 3; 7 ]
+
+let test_arbdefective () =
+  let g = Tree_gen.random ~n:200 ~max_degree:7 ~seed:29 in
+  List.iter
+    (fun k ->
+      let colors, o = Defective.arbdefective g ~k in
+      check_bool
+        (Printf.sprintf "k=%d arbdefective" k)
+        true
+        (Check.is_arbdefective_coloring g ~k colors o))
+    [ 0; 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* k-outdegree dominating sets                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_kods_pipelines () =
+  let g = Tree_gen.random ~n:150 ~max_degree:8 ~seed:31 in
+  List.iter
+    (fun k ->
+      let r = Kods.via_arbdefective g ~k in
+      check_bool
+        (Printf.sprintf "k=%d verified" k)
+        true
+        (Check.is_k_outdegree_dominating_set g ~k r.Kods.selected
+           r.Kods.orientation);
+      check_int "rounds = palette" r.Kods.palette r.Kods.rounds)
+    [ 0; 1; 2; 4 ]
+
+let test_kods_k0_is_mis () =
+  let g = Tree_gen.random ~n:100 ~max_degree:5 ~seed:37 in
+  let r = Kods.via_arbdefective g ~k:0 in
+  check_bool "k=0 gives an MIS" true (Check.is_mis g r.Kods.selected)
+
+let test_via_defective () =
+  let g = Tree_gen.random ~n:150 ~max_degree:8 ~seed:41 in
+  List.iter
+    (fun k ->
+      let r = Kods.via_defective g ~k in
+      check_bool
+        (Printf.sprintf "k=%d degree-DS" k)
+        true
+        (Check.is_k_degree_dominating_set g ~k r.Kods.selected))
+    [ 0; 1; 3 ]
+
+let test_round_robin () =
+  let g = Tree_gen.balanced ~delta:12 ~depth:2 in
+  List.iter
+    (fun k ->
+      let r = Kods.via_round_robin g ~k ~root:0 in
+      check_bool
+        (Printf.sprintf "k=%d valid" k)
+        true
+        (Check.is_k_outdegree_dominating_set g ~k r.Kods.selected
+           r.Kods.orientation);
+      check_int
+        (Printf.sprintf "k=%d worst-case palette" k)
+        (Defective.palette_size ~delta:12 ~k)
+        r.Kods.palette)
+    [ 1; 2; 3; 6 ];
+  Alcotest.check_raises "k=0 rejected"
+    (Invalid_argument "Kods.via_round_robin: needs k >= 1") (fun () ->
+      ignore (Kods.via_round_robin g ~k:0 ~root:0))
+
+let test_trivial_rooted () =
+  let g = Tree_gen.random ~n:80 ~max_degree:6 ~seed:43 in
+  let r = Kods.trivial_on_rooted_tree g ~k:1 ~root:0 in
+  check_int "0 rounds" 0 r.Kods.rounds;
+  check_bool "everything selected" true (Array.for_all Fun.id r.Kods.selected);
+  Alcotest.check_raises "k=0 rejected"
+    (Invalid_argument "Kods.trivial_on_rooted_tree: needs k >= 1") (fun () ->
+      ignore (Kods.trivial_on_rooted_tree g ~k:0 ~root:0))
+
+let kods_qcheck =
+  [
+    QCheck.Test.make ~name:"kods-always-valid" ~count:20
+      QCheck.(
+        triple (int_range 2 120) (int_range 2 9) (int_range 0 4))
+      (fun (n, max_degree, k) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed:(n + k) in
+        let r = Kods.via_arbdefective g ~k in
+        Check.is_k_outdegree_dominating_set g ~k r.Kods.selected
+          r.Kods.orientation);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Matchings                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_maximal_matching () =
+  let g = Tree_gen.random ~n:200 ~max_degree:6 ~seed:51 in
+  let colors = Dsgraph.Edge_coloring.color_tree g in
+  let sel, rounds = Matching.maximal g colors in
+  check_bool "maximal matching" true (Check.is_maximal_matching g sel);
+  check_int "rounds = palette" (1 + Array.fold_left max 0 colors) rounds
+
+let test_b_matching () =
+  let g = Tree_gen.random ~n:200 ~max_degree:8 ~seed:53 in
+  let colors = Dsgraph.Edge_coloring.color_tree g in
+  List.iter
+    (fun b ->
+      let sel, _ = Matching.b_matching g ~b colors in
+      check_bool (Printf.sprintf "b=%d" b) true (Check.is_b_matching g ~b sel);
+      (* Larger b never selects fewer edges with this greedy order. *)
+      ignore sel)
+    [ 1; 2; 3 ]
+
+let test_matching_rejects_improper () =
+  let g = Tree_gen.path 3 in
+  Alcotest.check_raises "improper coloring"
+    (Invalid_argument "Matching: edge coloring is not proper") (fun () ->
+      ignore (Matching.maximal g [| 0; 0 |]))
+
+let test_line_graph_correspondence () =
+  (* An MIS of the line graph, computed by Luby, is a maximal matching
+     of the base graph — the correspondence the paper uses (Section 1). *)
+  let g = Tree_gen.random ~n:120 ~max_degree:6 ~seed:57 in
+  let lg = Dsgraph.Line_graph.of_graph g in
+  let mis, _ = Luby.run ~seed:5 lg in
+  let matching = Dsgraph.Line_graph.matching_of_mis g mis in
+  check_bool "maximal matching" true (Check.is_maximal_matching g matching)
+
+let matching_qcheck =
+  [
+    QCheck.Test.make ~name:"matching-always-maximal" ~count:20
+      QCheck.(pair (int_range 2 150) (int_range 2 8))
+      (fun (n, max_degree) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed:(n * 17) in
+        let colors = Dsgraph.Edge_coloring.color_tree g in
+        let sel, _ = Matching.maximal g colors in
+        Check.is_maximal_matching g sel);
+    QCheck.Test.make ~name:"line-graph-mis-is-matching" ~count:15
+      QCheck.(pair (int_range 3 80) (int_range 2 6))
+      (fun (n, max_degree) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed:(n * 19) in
+        let lg = Dsgraph.Line_graph.of_graph g in
+        if Graph.m g = 0 then true
+        else begin
+          let mis, _ = Luby.run ~seed:n lg in
+          Check.is_maximal_matching g (Dsgraph.Line_graph.matching_of_mis g mis)
+        end);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Linial color reduction                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_linial_trees () =
+  let g = Tree_gen.random ~n:400 ~max_degree:6 ~seed:101 in
+  let colors, _ = Linial.run g in
+  check_bool "proper <= Delta+1" true
+    (Check.is_proper_coloring ~bound:(Graph.max_degree g + 1) g colors)
+
+let test_linial_general_graphs () =
+  (* Cycles and regular bipartite graphs: no rooting available. *)
+  let cycle =
+    Graph.of_edges ~n:60 (List.init 60 (fun i -> (i, (i + 1) mod 60)))
+  in
+  let colors, _ = Linial.run cycle in
+  check_bool "cycle 3-colored" true (Check.is_proper_coloring ~bound:3 cycle colors);
+  let g, _ = Tree_gen.regular_bipartite ~delta:4 ~half:20 ~seed:103 in
+  let colors, _ = Linial.run g in
+  check_bool "regular graph" true
+    (Check.is_proper_coloring ~bound:5 g colors)
+
+let test_linial_schedule () =
+  let fixpoint, linial_rounds, reduce_rounds = Linial.schedule ~n:1000 ~delta:8 in
+  check_bool "fixpoint is O((2 Delta)^2)" true (fixpoint <= 17 * 17);
+  check_bool "few linial rounds" true (linial_rounds <= 4);
+  check_int "reduce accounts for the rest" (fixpoint - 9) reduce_rounds
+
+let test_mis_via_linial () =
+  let g = Tree_gen.random ~n:300 ~max_degree:7 ~seed:107 in
+  let mis, rounds = Kods.mis_via_linial g in
+  check_bool "is MIS" true (Check.is_mis g mis);
+  check_bool "rounds within schedule" true (rounds <= 600);
+  (* And on a cycle, where the tree pipeline cannot run at all. *)
+  let cycle =
+    Graph.of_edges ~n:40 (List.init 40 (fun i -> (i, (i + 1) mod 40)))
+  in
+  let mis, _ = Kods.mis_via_linial cycle in
+  check_bool "cycle MIS" true (Check.is_mis cycle mis)
+
+let linial_qcheck =
+  [
+    QCheck.Test.make ~name:"linial-always-proper" ~count:15
+      QCheck.(pair (int_range 2 250) (int_range 2 8))
+      (fun (n, max_degree) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed:(n * 29) in
+        let colors, _ = Linial.run g in
+        Check.is_proper_coloring ~bound:(Graph.max_degree g + 1) g colors);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ruling sets                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ruling_set_verifier () =
+  let g = Tree_gen.path 7 in
+  (* {0, 3, 6}: pairwise distance 3, domination radius 2... every node
+     within 1 actually: 1->0, 2->3, 4->3, 5->6. *)
+  let sel = Array.init 7 (fun v -> v mod 3 = 0) in
+  check_bool "(3,1)-ruling set" true
+    (Ruling_set.is_ruling_set g ~alpha:3 ~beta:1 sel);
+  check_bool "not alpha=4" false
+    (Ruling_set.is_ruling_set g ~alpha:4 ~beta:1 sel);
+  (* {0}: independent but not dominating within 2. *)
+  let lone = Array.init 7 (fun v -> v = 0) in
+  check_bool "not dominating" false
+    (Ruling_set.is_ruling_set g ~alpha:2 ~beta:2 lone);
+  check_bool "dominating within 6" true
+    (Ruling_set.is_ruling_set g ~alpha:2 ~beta:6 lone)
+
+let test_ruling_set_construction () =
+  let g = Tree_gen.random ~n:150 ~max_degree:6 ~seed:71 in
+  List.iter
+    (fun beta ->
+      let sel, rounds = Ruling_set.via_power_mis g ~beta ~seed:beta in
+      check_bool
+        (Printf.sprintf "beta=%d valid" beta)
+        true
+        (Ruling_set.is_ruling_set g ~alpha:(beta + 1) ~beta sel);
+      check_bool "rounds scaled" true (rounds mod beta = 0))
+    [ 1; 2; 3 ]
+
+let test_matching_adversarial_ports () =
+  (* The matching algorithm keys on edge colors, not ports, so an
+     adversarial port renumbering must not affect correctness. *)
+  let g0 = Tree_gen.random ~n:120 ~max_degree:7 ~seed:91 in
+  let colors = Dsgraph.Edge_coloring.color_tree g0 in
+  let g = Tree_gen.shuffle_ports g0 ~seed:93 in
+  let sel, _ = Matching.maximal g colors in
+  check_bool "still maximal" true (Check.is_maximal_matching g sel)
+
+let test_ruling_set_beta1_is_mis () =
+  let g = Tree_gen.random ~n:90 ~max_degree:5 ~seed:73 in
+  let sel, _ = Ruling_set.via_power_mis g ~beta:1 ~seed:5 in
+  check_bool "beta=1 gives an MIS" true (Check.is_mis g sel)
+
+let () =
+  let qsuite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "distalgo"
+    [
+      ( "luby",
+        [
+          Alcotest.test_case "path" `Quick test_luby_path;
+          Alcotest.test_case "star" `Quick test_luby_star;
+          Alcotest.test_case "single-node" `Quick test_luby_single_node;
+        ] );
+      qsuite "luby-props" luby_qcheck;
+      ( "rooting",
+        [
+          Alcotest.test_case "centralized" `Quick test_parent_ports;
+          Alcotest.test_case "flooding" `Quick test_flooding_matches_centralized;
+        ] );
+      ( "cole-vishkin",
+        [
+          Alcotest.test_case "balanced tree" `Quick test_cv_basic;
+          Alcotest.test_case "round schedule" `Quick test_cv_rounds_growth;
+          Alcotest.test_case "single node" `Quick test_cv_single_node;
+        ] );
+      qsuite "cv-props" cv_qcheck;
+      ( "color-to-ds",
+        [
+          Alcotest.test_case "mis-from-coloring" `Quick test_mis_from_coloring;
+          Alcotest.test_case "mis-on-tree" `Quick test_mis_on_tree_pipeline;
+        ] );
+      ( "defective",
+        [
+          Alcotest.test_case "palette" `Quick test_palette_size;
+          Alcotest.test_case "defective" `Quick test_defective;
+          Alcotest.test_case "arbdefective" `Quick test_arbdefective;
+        ] );
+      ( "kods",
+        [
+          Alcotest.test_case "pipelines" `Quick test_kods_pipelines;
+          Alcotest.test_case "k0-is-mis" `Quick test_kods_k0_is_mis;
+          Alcotest.test_case "via-defective" `Quick test_via_defective;
+          Alcotest.test_case "round-robin" `Quick test_round_robin;
+          Alcotest.test_case "trivial-rooted" `Quick test_trivial_rooted;
+        ] );
+      qsuite "kods-props" kods_qcheck;
+      ( "matching",
+        [
+          Alcotest.test_case "maximal" `Quick test_maximal_matching;
+          Alcotest.test_case "b-matching" `Quick test_b_matching;
+          Alcotest.test_case "improper rejected" `Quick
+            test_matching_rejects_improper;
+          Alcotest.test_case "line-graph correspondence" `Quick
+            test_line_graph_correspondence;
+          Alcotest.test_case "adversarial ports" `Quick
+            test_matching_adversarial_ports;
+        ] );
+      qsuite "matching-props" matching_qcheck;
+      ( "linial",
+        [
+          Alcotest.test_case "trees" `Quick test_linial_trees;
+          Alcotest.test_case "general graphs" `Quick test_linial_general_graphs;
+          Alcotest.test_case "schedule" `Quick test_linial_schedule;
+          Alcotest.test_case "MIS pipeline" `Quick test_mis_via_linial;
+        ] );
+      qsuite "linial-props" linial_qcheck;
+      ( "ruling-sets",
+        [
+          Alcotest.test_case "verifier" `Quick test_ruling_set_verifier;
+          Alcotest.test_case "construction" `Quick test_ruling_set_construction;
+          Alcotest.test_case "beta=1 is MIS" `Quick test_ruling_set_beta1_is_mis;
+        ] );
+    ]

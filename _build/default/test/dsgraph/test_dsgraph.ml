@@ -1,0 +1,469 @@
+(* Tests for the graph substrate. *)
+
+open Dsgraph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let triangle_plus_tail () =
+  Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 0); (2, 3) ]
+
+let test_graph_basics () =
+  let g = triangle_plus_tail () in
+  check_int "n" 4 (Graph.n g);
+  check_int "m" 4 (Graph.m g);
+  check_int "deg 2" 3 (Graph.degree g 2);
+  check_int "deg 3" 1 (Graph.degree g 3);
+  check_int "max degree" 3 (Graph.max_degree g);
+  check_bool "connected" true (Graph.is_connected g);
+  check_bool "not a tree" false (Graph.is_tree g)
+
+let test_graph_ports_consistent () =
+  let g = triangle_plus_tail () in
+  for v = 0 to Graph.n g - 1 do
+    for p = 0 to Graph.degree g v - 1 do
+      let u = Graph.neighbor g v p in
+      let back = Graph.back_port g v p in
+      check_int "back port round-trip" v (Graph.neighbor g u back);
+      check_int "same edge" (Graph.edge_id g v p) (Graph.edge_id g u back)
+    done
+  done
+
+let test_graph_errors () =
+  Alcotest.check_raises "self-loop" (Invalid_argument "Graph.of_edges: self-loop")
+    (fun () -> ignore (Graph.of_edges ~n:2 [ (0, 0) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Graph.of_edges: duplicate edge") (fun () ->
+      ignore (Graph.of_edges ~n:2 [ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (Graph.of_edges ~n:2 [ (0, 5) ]))
+
+let test_bfs () =
+  let g = Tree_gen.path 5 in
+  let dist = Graph.bfs g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4 |] dist;
+  check_int "eccentricity" 4 (Graph.eccentricity g 0);
+  check_int "diameter" 4 (Graph.diameter g);
+  let dist2, parent = Graph.bfs_parents g 2 in
+  check_int "dist2" 2 dist2.(4);
+  check_int "parent of 4" 3 parent.(4);
+  check_int "root parent" 2 parent.(2)
+
+let test_disconnected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check_bool "not connected" false (Graph.is_connected g);
+  check_bool "not a tree" false (Graph.is_tree g);
+  check_int "unreachable" (-1) (Graph.bfs g 0).(2)
+
+let test_permute_ports () =
+  let g = Tree_gen.star 4 in
+  let perms = [| [| 2; 0; 1 |]; [| 0 |]; [| 0 |]; [| 0 |] |] in
+  let g' = Graph.permute_ports g perms in
+  (* old port 0 -> new port 2: center's new port 2 leads to node 1. *)
+  check_int "moved neighbor" 1 (Graph.neighbor g' 0 2);
+  check_int "edges unchanged" (Graph.m g) (Graph.m g');
+  (* Consistency still holds. *)
+  for p = 0 to 2 do
+    let u = Graph.neighbor g' 0 p in
+    check_int "round-trip" 0 (Graph.neighbor g' u (Graph.back_port g' 0 p))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Tree generators                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_balanced () =
+  let g = Tree_gen.balanced ~delta:3 ~depth:2 in
+  (* root(1) + 3 + 3*2 = 10 nodes *)
+  check_int "size" 10 (Graph.n g);
+  check_bool "tree" true (Graph.is_tree g);
+  check_int "root degree" 3 (Graph.degree g 0);
+  check_int "max degree" 3 (Graph.max_degree g);
+  (* Internal nodes all have degree exactly 3. *)
+  for v = 0 to Graph.n g - 1 do
+    let d = Graph.degree g v in
+    check_bool "degree 3 or leaf" true (d = 3 || d = 1)
+  done
+
+let test_balanced_depth0 () =
+  let g = Tree_gen.balanced ~delta:4 ~depth:0 in
+  check_int "single node" 1 (Graph.n g)
+
+let test_caterpillar () =
+  let g = Tree_gen.caterpillar ~spine:4 ~legs:2 in
+  check_int "size" 12 (Graph.n g);
+  check_bool "tree" true (Graph.is_tree g);
+  check_int "spine-interior degree" 4 (Graph.degree g 1)
+
+let test_star_path () =
+  check_int "star center" 9 (Graph.degree (Tree_gen.star 10) 0);
+  check_bool "path is tree" true (Graph.is_tree (Tree_gen.path 10))
+
+let tree_qcheck =
+  let gen = QCheck.(pair (int_range 2 200) (int_range 2 8)) in
+  [
+    QCheck.Test.make ~name:"random-tree-is-tree" ~count:50 gen
+      (fun (n, max_degree) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed:(n + max_degree) in
+        Graph.is_tree g && Graph.max_degree g <= max_degree);
+    QCheck.Test.make ~name:"shuffle-ports-preserves-structure" ~count:30 gen
+      (fun (n, max_degree) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed:n in
+        let g' = Tree_gen.shuffle_ports g ~seed:(n * 7) in
+        Graph.is_tree g'
+        && List.sort compare (List.map (fun (u, v) -> (min u v, max u v)) (Graph.edges g'))
+           = List.sort compare (List.map (fun (u, v) -> (min u v, max u v)) (Graph.edges g)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Edge coloring                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_color_balanced () =
+  let g = Tree_gen.balanced ~delta:4 ~depth:3 in
+  let colors = Edge_coloring.color_tree g in
+  check_bool "proper with Delta colors" true
+    (Edge_coloring.is_proper ~bound:4 g colors)
+
+let test_color_rejects_non_tree () =
+  Alcotest.check_raises "non-tree"
+    (Invalid_argument "Edge_coloring.color_tree: not a tree") (fun () ->
+      ignore (Edge_coloring.color_tree (triangle_plus_tail ())))
+
+let test_is_proper_negative () =
+  let g = Tree_gen.path 3 in
+  check_bool "clashing colors rejected" false
+    (Edge_coloring.is_proper g [| 0; 0 |]);
+  check_bool "short array rejected" false (Edge_coloring.is_proper g [| 0 |]);
+  check_bool "out of bound" false (Edge_coloring.is_proper ~bound:1 g [| 0; 1 |])
+
+let test_greedy_coloring () =
+  let g = triangle_plus_tail () in
+  let colors = Edge_coloring.greedy g in
+  check_bool "proper" true (Edge_coloring.is_proper g colors);
+  check_bool "within 2*Delta - 1" true
+    (Array.for_all (fun c -> c < (2 * Graph.max_degree g) - 1) colors)
+
+let test_mirrored_ports () =
+  (* A path with 2 edges colored 0/1: the middle node can mirror, the
+     endpoints need their single edge colored 0. *)
+  let g = Tree_gen.path 3 in
+  let good = [| 0; 0 |] in
+  (* Not proper; mirrored_ports should reject at the middle node
+     because both its edges have port 0. *)
+  check_bool "improper rejected" true (Edge_coloring.mirrored_ports g good = None);
+  let proper = [| 0; 1 |] in
+  (* Node 2's only edge has color 1 >= degree 1: rejected. *)
+  check_bool "leaf color out of range" true
+    (Edge_coloring.mirrored_ports g proper = None);
+  (* A single edge colored 0 works. *)
+  let g2 = Tree_gen.path 2 in
+  match Edge_coloring.mirrored_ports g2 [| 0 |] with
+  | Some g2' -> check_int "mirrored" 1 (Graph.neighbor g2' 0 0)
+  | None -> Alcotest.fail "expected mirrored ports"
+
+let coloring_qcheck =
+  [
+    QCheck.Test.make ~name:"tree-coloring-always-proper" ~count:50
+      QCheck.(pair (int_range 2 300) (int_range 2 9))
+      (fun (n, max_degree) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed:(n * 13) in
+        let colors = Edge_coloring.color_tree g in
+        Edge_coloring.is_proper ~bound:(Graph.max_degree g) g colors);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Orientation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_towards_root () =
+  let g = Tree_gen.balanced ~delta:3 ~depth:2 in
+  let o = Orientation.towards_root g in
+  check_int "root outdegree" 0 (Orientation.outdegree o 0);
+  check_int "max outdegree" 1 (Orientation.max_outdegree o);
+  for v = 1 to Graph.n g - 1 do
+    check_int "non-root outdegree" 1 (Orientation.outdegree o v)
+  done
+
+let test_restrict () =
+  let g = Tree_gen.path 4 in
+  let o = Orientation.towards_root g in
+  let o' = Orientation.restrict o (fun v -> v <= 1) in
+  check_bool "kept edge" true (Orientation.oriented o' 0);
+  check_bool "dropped edge" false (Orientation.oriented o' 2)
+
+let test_orientation_errors () =
+  let g = Tree_gen.path 3 in
+  Alcotest.check_raises "bad head"
+    (Invalid_argument "Orientation.make: head is not an endpoint") (fun () ->
+      ignore (Orientation.make g [| 2; 0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Check (verifiers)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_check_mis () =
+  let g = Tree_gen.path 4 in
+  check_bool "alternating is MIS" true
+    (Check.is_mis g [| true; false; true; false |]);
+  check_bool "endpoints only is also an MIS" true
+    (Check.is_mis g [| true; false; false; true |]);
+  check_bool "single endpoint is not (2,3 undominated)" false
+    (Check.is_mis g [| true; false; false; false |]);
+  check_bool "adjacent selected" false
+    (Check.is_mis g [| true; true; false; true |]);
+  check_bool "independent but not maximal" false
+    (Check.is_independent_set g [| true; true; false; false |]);
+  check_bool "empty not dominating" false
+    (Check.is_dominating_set g [| false; false; false; false |])
+
+let test_check_kods () =
+  let g = Tree_gen.star 5 in
+  (* All nodes selected, edges oriented toward the center: center
+     outdegree 0, leaves outdegree 1. *)
+  let sel = Array.make 5 true in
+  let o = Orientation.make g [| 0; 0; 0; 0 |] in
+  check_bool "1-outdegree DS" true
+    (Check.is_k_outdegree_dominating_set g ~k:1 sel o);
+  check_bool "not 0-outdegree" false
+    (Check.is_k_outdegree_dominating_set g ~k:0 sel o);
+  (* Orientation away from center: center outdegree 4. *)
+  let o2 = Orientation.make g [| 1; 2; 3; 4 |] in
+  check_bool "4 needed" true (Check.is_k_outdegree_dominating_set g ~k:4 sel o2);
+  check_bool "3 too small" false
+    (Check.is_k_outdegree_dominating_set g ~k:3 sel o2);
+  (* Unoriented induced edge must be rejected. *)
+  let o3 = Orientation.make g [| 0; 0; 0; -1 |] in
+  check_bool "unoriented rejected" false
+    (Check.is_k_outdegree_dominating_set g ~k:4 sel o3)
+
+let test_check_k_degree () =
+  let g = Tree_gen.star 4 in
+  let all = Array.make 4 true in
+  check_bool "3-degree DS" true (Check.is_k_degree_dominating_set g ~k:3 all);
+  check_bool "not 2-degree" false (Check.is_k_degree_dominating_set g ~k:2 all);
+  check_bool "center alone is MIS" true
+    (Check.is_k_degree_dominating_set g ~k:0 [| true; false; false; false |])
+
+let test_check_colorings () =
+  let g = Tree_gen.path 4 in
+  check_bool "proper" true (Check.is_proper_coloring g [| 0; 1; 0; 1 |]);
+  check_bool "improper" false (Check.is_proper_coloring g [| 0; 0; 1; 0 |]);
+  check_bool "bound" false
+    (Check.is_proper_coloring ~bound:2 g [| 0; 1; 2; 1 |]);
+  check_bool "1-defective all same" false
+    (Check.is_defective_coloring g ~k:1 [| 0; 0; 0; 0 |]);
+  check_bool "middle pair ok for k=1" true
+    (Check.is_defective_coloring g ~k:1 [| 0; 1; 1; 0 |])
+
+let test_check_matching () =
+  let g = Tree_gen.path 4 in
+  (* Edges: 0-1, 1-2, 2-3. *)
+  check_bool "maximal" true (Check.is_maximal_matching g [| true; false; true |]);
+  check_bool "middle only is maximal" true
+    (Check.is_maximal_matching g [| false; true; false |]);
+  check_bool "not a matching" false
+    (Check.is_maximal_matching g [| true; true; false |]);
+  check_bool "not maximal" false
+    (Check.is_maximal_matching g [| true; false; false |]);
+  check_bool "2-matching" true (Check.is_b_matching g ~b:2 [| true; true; false |])
+
+(* ------------------------------------------------------------------ *)
+(* Line graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_line_graph_path () =
+  (* line(P_n) = P_{n-1} *)
+  let lg = Line_graph.of_graph (Tree_gen.path 5) in
+  check_int "nodes = edges" 4 (Graph.n lg);
+  check_int "edges" 3 (Graph.m lg);
+  check_bool "still a path (tree)" true (Graph.is_tree lg)
+
+let test_line_graph_star () =
+  (* line(K_{1,n}) = K_n *)
+  let lg = Line_graph.of_graph (Tree_gen.star 5) in
+  check_int "nodes" 4 (Graph.n lg);
+  check_int "complete" (4 * 3 / 2) (Graph.m lg)
+
+let test_line_graph_triangle () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  let lg = Line_graph.of_graph g in
+  check_int "triangle again" 3 (Graph.m lg)
+
+let test_line_graph_degree_bound () =
+  let g = Tree_gen.caterpillar ~spine:5 ~legs:2 in
+  let lg = Line_graph.of_graph g in
+  check_bool "bound respected" true
+    (Graph.max_degree lg <= Line_graph.max_degree_bound g);
+  check_int "bound exact here" (Graph.max_degree lg)
+    (Line_graph.max_degree_bound g)
+
+let test_graph_dot () =
+  let g = Tree_gen.path 3 in
+  let dot =
+    Graph.to_dot ~edge_colors:[| 0; 1 |] ~highlight:(fun v -> v = 1) g
+  in
+  let contains needle =
+    let len = String.length needle in
+    let rec scan i =
+      i + len <= String.length dot
+      && (String.sub dot i len = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  check_bool "edge present" true (contains "0 -- 1");
+  check_bool "color label" true (contains "label=\"1\"");
+  check_bool "highlight" true (contains "fillcolor")
+
+let test_pruefer () =
+  (* 125 labeled trees on 5 nodes, all valid and pairwise distinct. *)
+  let canon g =
+    List.sort compare
+      (List.map (fun (u, v) -> (min u v, max u v)) (Graph.edges g))
+  in
+  let seen = Hashtbl.create 200 in
+  let count = ref 0 in
+  Tree_gen.all_trees 5 (fun g ->
+      incr count;
+      check_bool "is tree" true (Graph.is_tree g);
+      let c = canon g in
+      check_bool "distinct" false (Hashtbl.mem seen c);
+      Hashtbl.add seen c ());
+  check_int "5^3 trees" 125 !count;
+  (* A constant sequence decodes to a star. *)
+  let star = Tree_gen.of_pruefer [| 3; 3; 3; 3 |] in
+  check_int "star center" 5 (Graph.degree star 3)
+
+let test_all_trees_coloring () =
+  (* Every 6-node tree admits a proper max-degree edge coloring. *)
+  Tree_gen.all_trees 6 (fun g ->
+      let colors = Edge_coloring.color_tree g in
+      check_bool "proper" true
+        (Edge_coloring.is_proper ~bound:(Graph.max_degree g) g colors))
+
+let test_girth () =
+  check_bool "trees have no cycles" true (Graph.girth (Tree_gen.path 5) = None);
+  let cycle n =
+    Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+  in
+  check_bool "C5" true (Graph.girth (cycle 5) = Some 5);
+  check_bool "C8" true (Graph.girth (cycle 8) = Some 8);
+  check_bool "triangle+tail" true (Graph.girth (triangle_plus_tail ()) = Some 3)
+
+let test_regular_bipartite () =
+  List.iter
+    (fun (delta, half) ->
+      let g, colors = Tree_gen.regular_bipartite ~delta ~half ~seed:5 in
+      check_int "node count" (2 * half) (Graph.n g);
+      for v = 0 to Graph.n g - 1 do
+        check_int "regular" delta (Graph.degree g v)
+      done;
+      check_bool "proper coloring" true
+        (Edge_coloring.is_proper ~bound:delta g colors);
+      check_bool "bipartite (even girth)" true
+        (match Graph.girth g with None -> true | Some girth -> girth mod 2 = 0);
+      (* Matching-index colors allow mirrored ports at every node. *)
+      check_bool "mirrorable" true (Edge_coloring.mirrored_ports g colors <> None))
+    [ (2, 6); (3, 8); (4, 10) ]
+
+(* ------------------------------------------------------------------ *)
+(* Graph powers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_path () =
+  let g = Tree_gen.path 5 in
+  let g2 = Power.power g ~r:2 in
+  (* P5^2: edges {i,i+1} and {i,i+2}: 4 + 3 = 7. *)
+  check_int "edge count" 7 (Graph.m g2);
+  let g4 = Power.power g ~r:4 in
+  check_int "full power is complete" (5 * 4 / 2) (Graph.m g4)
+
+let test_power_r1_identity () =
+  let g = Tree_gen.random ~n:60 ~max_degree:5 ~seed:61 in
+  let g1 = Power.power g ~r:1 in
+  check_int "same edges" (Graph.m g) (Graph.m g1)
+
+let test_all_distances () =
+  let g = Tree_gen.path 4 in
+  let d = Power.all_distances g in
+  check_int "d(0,3)" 3 d.(0).(3);
+  check_int "d(2,2)" 0 d.(2).(2);
+  check_int "symmetric" d.(1).(3) d.(3).(1)
+
+let () =
+  let qsuite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "dsgraph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "ports" `Quick test_graph_ports_consistent;
+          Alcotest.test_case "errors" `Quick test_graph_errors;
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "permute-ports" `Quick test_permute_ports;
+          Alcotest.test_case "dot export" `Quick test_graph_dot;
+        ] );
+      ( "tree-gen",
+        [
+          Alcotest.test_case "balanced" `Quick test_balanced;
+          Alcotest.test_case "balanced-depth0" `Quick test_balanced_depth0;
+          Alcotest.test_case "caterpillar" `Quick test_caterpillar;
+          Alcotest.test_case "star-path" `Quick test_star_path;
+        ] );
+      qsuite "tree-gen-props" tree_qcheck;
+      ( "edge-coloring",
+        [
+          Alcotest.test_case "balanced" `Quick test_color_balanced;
+          Alcotest.test_case "non-tree" `Quick test_color_rejects_non_tree;
+          Alcotest.test_case "is-proper-negative" `Quick test_is_proper_negative;
+          Alcotest.test_case "greedy" `Quick test_greedy_coloring;
+          Alcotest.test_case "mirrored-ports" `Quick test_mirrored_ports;
+        ] );
+      qsuite "edge-coloring-props" coloring_qcheck;
+      ( "orientation",
+        [
+          Alcotest.test_case "towards-root" `Quick test_towards_root;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "errors" `Quick test_orientation_errors;
+        ] );
+      ( "girth-regular",
+        [
+          Alcotest.test_case "girth" `Quick test_girth;
+          Alcotest.test_case "regular bipartite" `Quick test_regular_bipartite;
+        ] );
+      ( "pruefer",
+        [
+          Alcotest.test_case "decode + distinct" `Quick test_pruefer;
+          Alcotest.test_case "exhaustive coloring n=6" `Slow
+            test_all_trees_coloring;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "path" `Quick test_power_path;
+          Alcotest.test_case "r=1 identity" `Quick test_power_r1_identity;
+          Alcotest.test_case "distances" `Quick test_all_distances;
+        ] );
+      ( "line-graph",
+        [
+          Alcotest.test_case "path" `Quick test_line_graph_path;
+          Alcotest.test_case "star" `Quick test_line_graph_star;
+          Alcotest.test_case "triangle" `Quick test_line_graph_triangle;
+          Alcotest.test_case "degree bound" `Quick test_line_graph_degree_bound;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "mis" `Quick test_check_mis;
+          Alcotest.test_case "k-outdegree" `Quick test_check_kods;
+          Alcotest.test_case "k-degree" `Quick test_check_k_degree;
+          Alcotest.test_case "colorings" `Quick test_check_colorings;
+          Alcotest.test_case "matching" `Quick test_check_matching;
+        ] );
+    ]

@@ -1,0 +1,172 @@
+(* Tests for labelings and the standard encodings. *)
+
+module Graph = Dsgraph.Graph
+module Tree_gen = Dsgraph.Tree_gen
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Encodings                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_mis_encoding () =
+  let p = Lcl.Encodings.mis ~delta:4 in
+  check_int "3 labels" 3 (Relim.Problem.label_count p);
+  check_int "arity" 4 (Relim.Problem.delta p);
+  check_int "2 node lines" 2 (List.length (Relim.Constr.lines p.node))
+
+let test_other_encodings () =
+  check_int "SO labels" 2
+    (Relim.Problem.label_count (Lcl.Encodings.sinkless_orientation ~delta:3));
+  check_int "MM labels" 3
+    (Relim.Problem.label_count (Lcl.Encodings.maximal_matching ~delta:3));
+  check_int "coloring labels" 5
+    (Relim.Problem.label_count (Lcl.Encodings.coloring ~delta:3 ~colors:5));
+  check_int "weak2col labels" 4
+    (Relim.Problem.label_count (Lcl.Encodings.weak_2_coloring ~delta:3))
+
+let test_coloring_encoding_semantics () =
+  (* A proper 3-coloring labeling of a path validates; an improper one
+     does not. *)
+  let g = Tree_gen.path 3 in
+  let p = Lcl.Encodings.coloring ~delta:2 ~colors:3 in
+  let label v = Relim.Alphabet.find p.alpha (Printf.sprintf "C%d" v) in
+  let proper =
+    Lcl.Labeling.make g
+      [| [| label 0 |]; [| label 1; label 1 |]; [| label 2 |] |]
+  in
+  check_bool "proper validates" true (Lcl.Labeling.is_valid p proper);
+  let improper =
+    Lcl.Labeling.make g
+      [| [| label 1 |]; [| label 1; label 1 |]; [| label 2 |] |]
+  in
+  check_bool "improper rejected" false (Lcl.Labeling.is_valid p improper)
+
+(* ------------------------------------------------------------------ *)
+(* Labeling checker                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mis_labeling_of g seed =
+  let mis, _ = Distalgo.Luby.run ~seed g in
+  Lcl.Encodings.mis_labeling g mis
+
+let test_mis_labeling_valid () =
+  let g = Tree_gen.random ~n:80 ~max_degree:5 ~seed:3 in
+  let labeling = mis_labeling_of g 3 in
+  let p = Lcl.Encodings.mis ~delta:(Graph.max_degree g) in
+  check_bool "valid (extendable)" true
+    (Lcl.Labeling.is_valid ~boundary:`Extendable p labeling);
+  check_bool "valid (free)" true
+    (Lcl.Labeling.is_valid ~boundary:`Free p labeling)
+
+let test_mis_labeling_violations () =
+  let g = Tree_gen.path 4 in
+  let p = Lcl.Encodings.mis ~delta:2 in
+  let labeling = mis_labeling_of g 5 in
+  (* Corrupt: make node 1's first port an M while node 1 is adjacent to
+     an M or has a P elsewhere — force a violation. *)
+  let m = Relim.Alphabet.find p.alpha "M" in
+  let corrupt =
+    Lcl.Labeling.make g
+      (Array.mapi
+         (fun v row -> if v = 1 then Array.make (Array.length row) m else row)
+         labeling.Lcl.Labeling.labels)
+  in
+  let violations = Lcl.Labeling.violations p corrupt in
+  check_bool "violations found" true (violations <> [])
+
+let test_boundary_modes () =
+  let g = Tree_gen.star 3 in
+  (* Star with Delta = 2?? max degree = 2: center degree 2, leaves 1. *)
+  let p = Lcl.Encodings.mis ~delta:2 in
+  let m = Relim.Alphabet.find p.alpha "M" in
+  let p_lab = Relim.Alphabet.find p.alpha "P" in
+  (* Center in MIS, leaves point at it. *)
+  let labeling =
+    Lcl.Labeling.make g [| [| m; m |]; [| p_lab |]; [| p_lab |] |]
+  in
+  check_bool "extendable ok" true
+    (Lcl.Labeling.is_valid ~boundary:`Extendable p labeling);
+  check_bool "exact rejects leaves" false
+    (Lcl.Labeling.is_valid ~boundary:`Exact p labeling);
+  check_bool "free ok" true (Lcl.Labeling.is_valid ~boundary:`Free p labeling)
+
+let test_orientation_labeling_on_tree () =
+  (* Trees have no sinkless orientation: some node must violate. *)
+  let g = Tree_gen.path 5 in
+  let o = Dsgraph.Orientation.towards_root g in
+  let labeling = Lcl.Encodings.orientation_labeling g o in
+  let p = Lcl.Encodings.sinkless_orientation ~delta:2 in
+  let violations = Lcl.Labeling.violations ~boundary:`Exact p labeling in
+  check_bool "root is a sink" true
+    (List.exists (fun v -> v = Lcl.Labeling.Node_violation 0) violations)
+
+let test_label_at () =
+  let g = Tree_gen.path 3 in
+  let labeling = Lcl.Labeling.make g [| [| 7 |]; [| 8; 9 |]; [| 6 |] |] in
+  let e01 = Graph.edge_id g 0 0 in
+  check_int "from 0" 7 (Lcl.Labeling.label_at labeling ~v:0 ~e:e01);
+  check_int "from 1" 8 (Lcl.Labeling.label_at labeling ~v:1 ~e:e01)
+
+let test_shape_validation () =
+  let g = Tree_gen.path 3 in
+  Alcotest.check_raises "wrong ports"
+    (Invalid_argument "Labeling.make: wrong number of ports") (fun () ->
+      ignore (Lcl.Labeling.make g [| [| 0 |]; [| 0 |]; [| 0 |] |]))
+
+let test_labeling_pp () =
+  let g = Tree_gen.path 3 in
+  let p = Lcl.Encodings.mis ~delta:2 in
+  let m = Relim.Alphabet.find p.alpha "M" in
+  let p_lab = Relim.Alphabet.find p.alpha "P" in
+  let labeling =
+    Lcl.Labeling.make g [| [| p_lab |]; [| m; m |]; [| p_lab |] |]
+  in
+  let rendered = Format.asprintf "%a" (Lcl.Labeling.pp p) labeling in
+  let contains needle =
+    let len = String.length needle in
+    let rec scan i =
+      i + len <= String.length rendered
+      && (String.sub rendered i len = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  check_bool "node 1 row" true (contains "1: M M");
+  check_bool "node 0 row" true (contains "0: P")
+
+let mis_labeling_qcheck =
+  [
+    QCheck.Test.make ~name:"luby-mis-labeling-always-valid" ~count:20
+      QCheck.(pair (int_range 2 120) (int_range 2 7))
+      (fun (n, max_degree) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed:(n * 3) in
+        let labeling = mis_labeling_of g n in
+        let p = Lcl.Encodings.mis ~delta:(Graph.max_degree g) in
+        Lcl.Labeling.is_valid ~boundary:`Extendable p labeling);
+  ]
+
+let () =
+  Alcotest.run "lcl"
+    [
+      ( "encodings",
+        [
+          Alcotest.test_case "mis" `Quick test_mis_encoding;
+          Alcotest.test_case "others" `Quick test_other_encodings;
+          Alcotest.test_case "coloring-semantics" `Quick
+            test_coloring_encoding_semantics;
+        ] );
+      ( "labeling",
+        [
+          Alcotest.test_case "mis-valid" `Quick test_mis_labeling_valid;
+          Alcotest.test_case "violations" `Quick test_mis_labeling_violations;
+          Alcotest.test_case "boundary-modes" `Quick test_boundary_modes;
+          Alcotest.test_case "so-on-trees" `Quick
+            test_orientation_labeling_on_tree;
+          Alcotest.test_case "label-at" `Quick test_label_at;
+          Alcotest.test_case "shape" `Quick test_shape_validation;
+          Alcotest.test_case "pretty-printer" `Quick test_labeling_pp;
+        ] );
+      ( "labeling-props",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) mis_labeling_qcheck );
+    ]

@@ -1,0 +1,1026 @@
+(* Tests for the round-elimination engine. *)
+
+open Relim
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Labelset                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_labelset_basics () =
+  let s = Labelset.of_list [ 0; 2; 5 ] in
+  check_int "cardinal" 3 (Labelset.cardinal s);
+  check_bool "mem 2" true (Labelset.mem 2 s);
+  check_bool "mem 1" false (Labelset.mem 1 s);
+  check Alcotest.(list int) "elements" [ 0; 2; 5 ] (Labelset.elements s);
+  check_bool "subset" true (Labelset.subset (Labelset.of_list [ 0; 5 ]) s);
+  check_bool "not subset" false (Labelset.subset (Labelset.of_list [ 1 ]) s);
+  check_bool "strict subset" true
+    (Labelset.strict_subset (Labelset.of_list [ 0 ]) s);
+  check_bool "not strict (equal)" false (Labelset.strict_subset s s);
+  check_int "choose" 0 (Labelset.choose s);
+  check_bool "remove" false (Labelset.mem 2 (Labelset.remove 2 s))
+
+let test_labelset_subsets () =
+  let s = Labelset.of_list [ 1; 3; 4 ] in
+  let subs = Labelset.nonempty_subsets s in
+  check_int "2^3 - 1 subsets" 7 (List.length subs);
+  List.iter
+    (fun sub -> check_bool "subset of s" true (Labelset.subset sub s))
+    subs;
+  (* all distinct *)
+  let sorted = List.sort_uniq Labelset.compare subs in
+  check_int "distinct" 7 (List.length sorted)
+
+let test_labelset_bounds () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Labelset: label 60 out of range") (fun () ->
+      ignore (Labelset.singleton Labelset.max_label));
+  check_int "full cardinal" 10 (Labelset.cardinal (Labelset.full 10))
+
+let labelset_qcheck =
+  let gen_set = QCheck.(map Labelset.of_bits (map (fun x -> x land 0xFFFF) small_nat)) in
+  [
+    QCheck.Test.make ~name:"union-commutative" ~count:200
+      (QCheck.pair gen_set gen_set) (fun (a, b) ->
+        Labelset.equal (Labelset.union a b) (Labelset.union b a));
+    QCheck.Test.make ~name:"inter-subset" ~count:200
+      (QCheck.pair gen_set gen_set) (fun (a, b) ->
+        Labelset.subset (Labelset.inter a b) a);
+    QCheck.Test.make ~name:"diff-disjoint" ~count:200
+      (QCheck.pair gen_set gen_set) (fun (a, b) ->
+        Labelset.is_empty (Labelset.inter (Labelset.diff a b) b));
+    QCheck.Test.make ~name:"cardinal-elements" ~count:200 gen_set (fun s ->
+        List.length (Labelset.elements s) = Labelset.cardinal s);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Multiset                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiset_basics () =
+  let m = Multiset.of_list [ 2; 0; 2; 1; 2 ] in
+  check_int "size" 5 (Multiset.size m);
+  check_int "count 2" 3 (Multiset.count m 2);
+  check_int "count 7" 0 (Multiset.count m 7);
+  check Alcotest.(list int) "to_list sorted" [ 0; 1; 2; 2; 2 ]
+    (Multiset.to_list m);
+  let m' = Multiset.replace_one ~remove:2 ~add:5 m in
+  check_int "after replace: count 2" 2 (Multiset.count m' 2);
+  check_int "after replace: count 5" 1 (Multiset.count m' 5);
+  check_int "size preserved" 5 (Multiset.size m');
+  Alcotest.check_raises "remove absent" Not_found (fun () ->
+      ignore (Multiset.remove_one 9 m))
+
+let test_multiset_sub () =
+  let m = Multiset.of_counts [ (0, 2); (1, 1) ] in
+  let subs = ref [] in
+  Multiset.sub_multisets m (fun s -> subs := s :: !subs);
+  (* (2+1) * (1+1) = 6 sub-multisets *)
+  check_int "sub-multiset count" 6 (List.length !subs);
+  let of_size k =
+    let acc = ref 0 in
+    Multiset.sub_multisets_of_size k m (fun _ -> incr acc);
+    !acc
+  in
+  check_int "size-0" 1 (of_size 0);
+  check_int "size-1" 2 (of_size 1);
+  check_int "size-2" 2 (of_size 2);
+  check_int "size-3" 1 (of_size 3)
+
+let multiset_qcheck =
+  let gen = QCheck.(small_list (int_bound 6)) in
+  [
+    QCheck.Test.make ~name:"of_list-size" ~count:200 gen (fun ls ->
+        Multiset.size (Multiset.of_list ls) = List.length ls);
+    QCheck.Test.make ~name:"support-subset" ~count:200 gen (fun ls ->
+        let m = Multiset.of_list ls in
+        List.for_all (fun l -> Labelset.mem l (Multiset.support m)) ls);
+    QCheck.Test.make ~name:"add-remove-roundtrip" ~count:200 gen (fun ls ->
+        let m = Multiset.of_list ls in
+        Multiset.equal m (Multiset.remove_one 3 (Multiset.add 3 m)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Line / Constr                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let alpha5 = Alphabet.create [ "M"; "P"; "O"; "A"; "X" ]
+
+let line s = Parse.line alpha5 s
+
+let test_line_basics () =
+  let l = line "M^2 [PO]^3" in
+  check_int "arity" 5 (Line.arity l);
+  check_bool "contains M M P P O" true
+    (Line.contains l (Multiset.of_list [ 0; 0; 1; 1; 2 ]));
+  check_bool "contains M M P P P" true
+    (Line.contains l (Multiset.of_list [ 0; 0; 1; 1; 1 ]));
+  check_bool "not contains M P P P P" false
+    (Line.contains l (Multiset.of_list [ 0; 1; 1; 1; 1 ]));
+  check_bool "not contains wrong arity" false
+    (Line.contains l (Multiset.of_list [ 0; 0; 1; 1 ]));
+  check_bool "partial M P" true
+    (Line.contains_partial l (Multiset.of_list [ 0; 1 ]));
+  check_bool "partial M M M impossible" false
+    (Line.contains_partial l (Multiset.of_list [ 0; 0; 0 ]))
+
+let test_line_covers () =
+  let big = line "[MPO]^3" in
+  let small = line "M [PO]^2" in
+  check_bool "covers" true (Line.covers big small);
+  check_bool "not covered" false (Line.covers small big)
+
+let test_line_expand () =
+  let l = line "[MP]^2 X" in
+  let seen = ref [] in
+  Line.expand l (fun m -> seen := Multiset.to_list m :: !seen);
+  let distinct = List.sort_uniq compare !seen in
+  (* MM X, MP X, PP X *)
+  check_int "distinct expansions" 3 (List.length distinct)
+
+let test_constr () =
+  let c = Constr.make [ line "M^5"; line "P O^4" ] in
+  check_int "arity" 5 (Constr.arity c);
+  check_bool "mem M^5" true (Constr.mem c (Multiset.of_list [ 0; 0; 0; 0; 0 ]));
+  check_bool "mem P O^4" true
+    (Constr.mem c (Multiset.of_list [ 1; 2; 2; 2; 2 ]));
+  check_bool "not mem P P O^3" false
+    (Constr.mem c (Multiset.of_list [ 1; 1; 2; 2; 2 ]));
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Constr.make: lines of different arity") (fun () ->
+      ignore (Constr.make [ line "M M"; line "M" ]))
+
+let test_constr_expand () =
+  let c = Constr.make [ line "[MP] O"; line "M [OP]" ] in
+  let configs = Constr.expand c in
+  (* MO, PO, MP: the overlap MO appears once. *)
+  check_int "deduplicated" 3 (List.length configs)
+
+(* ------------------------------------------------------------------ *)
+(* Parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_forms () =
+  let l1 = Parse.line alpha5 "M M M" in
+  let l2 = Parse.line alpha5 "M^3" in
+  check_bool "equivalent forms" true (Line.equal l1 l2);
+  let l3 = Parse.line alpha5 "[P O] X" in
+  let l4 = Parse.line alpha5 "[PO] X" in
+  check_bool "bracket forms" true (Line.equal l3 l4)
+
+let test_parse_errors () =
+  let fails f = match f () with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  check_bool "unknown label" true (fails (fun () -> Parse.line alpha5 "Z"));
+  check_bool "unclosed bracket" true (fails (fun () -> Parse.line alpha5 "[MP"));
+  check_bool "missing count" true (fails (fun () -> Parse.line alpha5 "M^"));
+  check_bool "empty disjunction" true (fails (fun () -> Parse.line alpha5 "[]"))
+
+let test_parse_problem () =
+  let p = Parse.problem ~name:"mis" ~node:"M M M\nP O O" ~edge:"M [PO]\nO O" in
+  check_int "labels" 3 (Problem.label_count p);
+  check_int "delta" 3 (Problem.delta p);
+  check Alcotest.(list string) "names"
+    [ "M"; "P"; "O" ]
+    (List.map (Alphabet.name p.alpha) (Alphabet.labels p.alpha))
+
+let test_scan_labels () =
+  check Alcotest.(list string) "scan" [ "M"; "P"; "O" ]
+    (Parse.scan_labels "M M M; P [OM] O")
+
+(* ------------------------------------------------------------------ *)
+(* Diagram                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mis3 = Parse.problem ~name:"MIS" ~node:"M M M\nP O O" ~edge:"M [PO]\nO O"
+
+let test_edge_diagram_mis () =
+  (* Figure 1: O is stronger than P; M unrelated to both. *)
+  let d = Diagram.edge_diagram mis3 in
+  let l name = Alphabet.find mis3.alpha name in
+  check_bool "O >= P" true (Diagram.geq d (l "O") (l "P"));
+  check_bool "O > P" true (Diagram.gt d (l "O") (l "P"));
+  check_bool "P not >= O" false (Diagram.geq d (l "P") (l "O"));
+  check_bool "M not >= P" false (Diagram.geq d (l "M") (l "P"));
+  check_bool "M not >= O" false (Diagram.geq d (l "M") (l "O"));
+  check_bool "P not >= M" false (Diagram.geq d (l "P") (l "M"));
+  check Alcotest.(list (pair int int)) "hasse"
+    [ (l "P", l "O") ]
+    (Diagram.hasse_edges d)
+
+let test_right_closed_mis () =
+  let d = Diagram.edge_diagram mis3 in
+  let sets = Diagram.right_closed_sets d in
+  let l name = Alphabet.find mis3.alpha name in
+  (* Right-closed sets: any set where P implies O. With labels M,P,O:
+     all subsets except those containing P without O: {P}, {M,P}.
+     7 non-empty - 2 = 5. *)
+  check_int "count" 5 (List.length sets);
+  check_bool "PO is right-closed" true
+    (Diagram.is_right_closed d (Labelset.of_list [ l "P"; l "O" ]));
+  check_bool "P alone is not" false
+    (Diagram.is_right_closed d (Labelset.of_list [ l "P" ]))
+
+let test_minimal_elements () =
+  let d = Diagram.edge_diagram mis3 in
+  let l name = Alphabet.find mis3.alpha name in
+  let s = Labelset.of_list [ l "P"; l "O"; l "M" ] in
+  let mins = Diagram.minimal_elements d s in
+  check_bool "P minimal" true (Labelset.mem (l "P") mins);
+  check_bool "M minimal" true (Labelset.mem (l "M") mins);
+  check_bool "O not minimal" false (Labelset.mem (l "O") mins)
+
+let test_node_diagram_exact_vs_condensed () =
+  (* On an expandable instance the two node-diagram computations must
+     agree wherever the condensed one reports a relation (it is sound
+     but possibly incomplete). *)
+  let p =
+    Parse.problem ~name:"pi" ~node:"M^5 X^2\nA^4 X^3\nP O^6"
+      ~edge:"M [PAOX]\nO [MAOX]\nP [MX]\nA [MOX]\nX [MPAOX]"
+  in
+  let exact = Diagram.node_diagram ~expand_limit:1e7 p in
+  let approx = Diagram.node_diagram ~expand_limit:1. p in
+  check_bool "exact mode" true (Diagram.is_exact exact);
+  check_bool "approx mode" false (Diagram.is_exact approx);
+  let n = Problem.label_count p in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if Diagram.geq approx a b then
+        check_bool
+          (Printf.sprintf "approx(%d>=%d) implies exact" a b)
+          true (Diagram.geq exact a b)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Rounde                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_r_mis () =
+  let { Rounde.problem = p'; denotations } = Rounde.r mis3 in
+  check_int "4 labels" 4 (Problem.label_count p');
+  check_int "2 edge lines" 2 (List.length (Constr.lines p'.edge));
+  check_int "2 node lines" 2 (List.length (Constr.lines p'.node));
+  (* Denotations must be the sets {M}, {PO}, {O}, {MO}. *)
+  let l name = Alphabet.find mis3.alpha name in
+  let expected =
+    List.sort Labelset.compare
+      [
+        Labelset.of_list [ l "M" ];
+        Labelset.of_list [ l "P"; l "O" ];
+        Labelset.of_list [ l "O" ];
+        Labelset.of_list [ l "M"; l "O" ];
+      ]
+  in
+  check_bool "denotations" true
+    (List.equal Labelset.equal expected
+       (List.sort Labelset.compare (Array.to_list denotations)))
+
+let test_sinkless_orientation_fixed_point () =
+  let so =
+    Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I"
+  in
+  let { Rounde.problem = so2; _ } = Rounde.step so in
+  let { Rounde.problem = so3; _ } = Rounde.step so2 in
+  check_bool "fixed point" true (Iso.equal_up_to_renaming so2 so3)
+
+let test_rbar_labels_right_closed () =
+  (* Observation 4: every label of Rbar(R(Pi)) is right-closed w.r.t.
+     the node diagram of R(Pi). *)
+  let { Rounde.problem = p'; _ } = Rounde.r mis3 in
+  let d = Diagram.node_diagram p' in
+  let { Rounde.problem = _; denotations } = Rounde.rbar p' in
+  Array.iter
+    (fun set ->
+      check_bool "right-closed" true (Diagram.is_right_closed d set))
+    denotations
+
+let test_rbar_maximality () =
+  (* No node line of Rbar output strictly dominates another. *)
+  let { Rounde.problem = p'; _ } = Rounde.r mis3 in
+  let { Rounde.problem = p''; denotations } = Rounde.rbar p' in
+  let boxes =
+    List.map
+      (fun line ->
+        match Line.to_multiset line with
+        | Some m -> List.map (fun l -> denotations.(l)) (Multiset.to_list m)
+        | None -> Alcotest.fail "non-concrete rbar output")
+      (Constr.lines p''.node)
+  in
+  let dominates a b =
+    (* b <= a slotwise up to permutation, strictly *)
+    let a = Array.of_list a and b = Array.of_list b in
+    Array.length a = Array.length b
+    && Util.transport_feasible
+         ~supply:(Array.map (fun _ -> 1) b)
+         ~demand:(Array.map (fun _ -> 1) a)
+         ~allowed:(fun i j -> Labelset.subset b.(i) a.(j))
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j then
+            check_bool "antichain" false
+              (dominates a b && not (dominates b a)))
+        boxes)
+    boxes
+
+let test_rbar_guard () =
+  let big =
+    Parse.problem ~name:"big"
+      ~node:"A B C D E F G H I J K L M N O P Q R S T U"
+      ~edge:"[ABCDEFGHIJKLMNOPQRSTU] [ABCDEFGHIJKLMNOPQRSTU]"
+  in
+  match Rounde.rbar big with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected label-budget failure"
+
+let test_step_speedup_on_coloring () =
+  (* 3-coloring on a path (Delta = 2): a classic log*-round problem;
+     one speedup step must keep it non-0-round solvable but change the
+     problem. *)
+  let col =
+    Parse.problem ~name:"3col" ~node:"A A\nB B\nC C" ~edge:"A [BC]\nB C"
+  in
+  let { Rounde.problem = next; _ } = Rounde.step col in
+  check_bool "label growth" true (Problem.label_count next >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Relax                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_relax_reflexive () =
+  let m = Multiset.of_list [ 0; 1; 2 ] in
+  check_bool "reflexive" true
+    (Relax.multiset_relaxes ~leq:Relax.label_equal m m)
+
+let test_relax_with_order () =
+  (* 0 <= 1 <= 2 *)
+  let leq a b = a <= b in
+  let y = Multiset.of_list [ 0; 1 ] in
+  let z = Multiset.of_list [ 1; 2 ] in
+  check_bool "relaxes upward" true (Relax.multiset_relaxes ~leq y z);
+  check_bool "not downward" false (Relax.multiset_relaxes ~leq z y);
+  let z_bad = Multiset.of_list [ 0; 0 ] in
+  check_bool "no matching" false (Relax.multiset_relaxes ~leq y z_bad)
+
+let test_relax_constr () =
+  let c1 = Constr.make [ Parse.line alpha5 "M P" ] in
+  let c2 = Constr.make [ Parse.line alpha5 "[MP] [MP]" ] in
+  check_bool "into disjunction" true
+    (Relax.constr_relaxes ~leq:Relax.label_equal c1 c2);
+  check_bool "not conversely" false
+    (Relax.constr_relaxes ~leq:Relax.label_equal c2 c1)
+
+(* ------------------------------------------------------------------ *)
+(* Zeroround                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_zeroround_mis () =
+  check_bool "mirrored" true (Zeroround.solvable_mirrored mis3 = None);
+  check_bool "arbitrary" true (Zeroround.solvable_arbitrary_ports mis3 = None);
+  match Zeroround.randomized_failure_bound mis3 with
+  | Some b ->
+      (* 2 configurations, Delta 3: 1/36. *)
+      Alcotest.(check (float 1e-9)) "bound" (1. /. 36.) b
+  | None -> Alcotest.fail "expected a bound"
+
+let test_zeroround_trivial () =
+  let triv = Parse.problem ~name:"t" ~node:"A A A" ~edge:"A A" in
+  check_bool "mirrored solvable" true (Zeroround.solvable_mirrored triv <> None);
+  check_bool "arbitrary solvable" true
+    (Zeroround.solvable_arbitrary_ports triv <> None);
+  check_bool "no bound" true (Zeroround.randomized_failure_bound triv = None)
+
+let test_zeroround_mirrored_but_not_arbitrary () =
+  (* Node picks one L and one R; L only compatible with R.  Under
+     mirrored ports assign L to port 0 and R to port 1: LL on edge
+     0... not self-compatible. Use instead: edge LL and RR allowed but
+     LR not: mirrored works (any port assignment), arbitrary fails. *)
+  let p = Parse.problem ~name:"halves" ~node:"L R" ~edge:"L L\nR R" in
+  check_bool "mirrored ok" true (Zeroround.solvable_mirrored p <> None);
+  check_bool "arbitrary fails" true (Zeroround.solvable_arbitrary_ports p = None)
+
+let test_self_compatible () =
+  let s = Zeroround.self_compatible mis3 in
+  let l name = Alphabet.find mis3.alpha name in
+  check_bool "O self" true (Labelset.mem (l "O") s);
+  check_bool "M not" false (Labelset.mem (l "M") s);
+  check_bool "P not" false (Labelset.mem (l "P") s)
+
+(* ------------------------------------------------------------------ *)
+(* Iso                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_iso_identity () =
+  check_bool "identity" true (Iso.equal_up_to_renaming mis3 mis3)
+
+let test_iso_renamed () =
+  let renamed =
+    Parse.problem ~name:"MIS2" ~node:"Z Z Z\nQ W W" ~edge:"Z [QW]\nW W"
+  in
+  (match Iso.find_renaming mis3 renamed with
+  | Some assoc ->
+      let name_of l = Alphabet.name renamed.alpha l in
+      let m = List.assoc (Alphabet.find mis3.alpha "M") assoc in
+      check Alcotest.string "M maps to Z" "Z" (name_of m)
+  | None -> Alcotest.fail "renaming not found");
+  check_bool "renamed equal" true (Iso.equal_up_to_renaming mis3 renamed)
+
+let test_iso_negative () =
+  let other = Parse.problem ~name:"x" ~node:"M M M\nP O O" ~edge:"M [PO]\nO O\nP P" in
+  check_bool "different problems" false (Iso.equal_up_to_renaming mis3 other)
+
+let test_diagram_dot () =
+  let dot = Diagram.to_dot (Diagram.edge_diagram mis3) in
+  check_bool "has edge" true
+    (let re_needle = "\"P\" -> \"O\"" in
+     let len = String.length re_needle in
+     let rec scan i =
+       i + len <= String.length dot
+       && (String.sub dot i len = re_needle || scan (i + 1))
+     in
+     scan 0);
+  check_bool "digraph header" true (String.length dot > 10 && String.sub dot 0 7 = "digraph")
+
+let test_apply_renaming () =
+  let renamed = Iso.apply_renaming mis3 [ ("M", "Z") ] in
+  check_bool "Z exists" true (Alphabet.mem_name renamed.alpha "Z");
+  check_bool "M gone" false (Alphabet.mem_name renamed.alpha "M");
+  check_bool "still isomorphic" true (Iso.equal_up_to_renaming mis3 renamed)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem-level engine properties (qcheck)                            *)
+(* ------------------------------------------------------------------ *)
+
+let engine_qcheck =
+  let params_gen =
+    QCheck.(
+      map
+        (fun (d, a, x) ->
+          let delta = 3 + (d mod 3) in
+          let x = x mod max 1 (delta - 1) in
+          let a = min delta (x + 2 + (a mod max 1 (delta - x - 1))) in
+          (delta, a, x))
+        (triple small_nat small_nat small_nat))
+  in
+  [
+    QCheck.Test.make ~name:"r-labels-right-closed-wrt-edge-diagram" ~count:30
+      params_gen (fun (delta, a, x) ->
+        (* Observation 4 for R. *)
+        let node =
+          Printf.sprintf "M^%d X^%d\nA^%d X^%d\nP O^%d" (delta - x) x a
+            (delta - a) (delta - 1)
+        in
+        let edge = "M [PAOX]\nO [MAOX]\nP [MX]\nA [MOX]\nX [MPAOX]" in
+        let p = Parse.problem ~name:"pi" ~node ~edge in
+        let d = Diagram.edge_diagram p in
+        let { Rounde.denotations; _ } = Rounde.r p in
+        Array.for_all (fun s -> Diagram.is_right_closed d s) denotations);
+  ]
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let main_suites =
+  [
+      ( "labelset",
+        [
+          Alcotest.test_case "basics" `Quick test_labelset_basics;
+          Alcotest.test_case "subsets" `Quick test_labelset_subsets;
+          Alcotest.test_case "bounds" `Quick test_labelset_bounds;
+        ] );
+      qsuite "labelset-props" labelset_qcheck;
+      ( "multiset",
+        [
+          Alcotest.test_case "basics" `Quick test_multiset_basics;
+          Alcotest.test_case "sub-multisets" `Quick test_multiset_sub;
+        ] );
+      qsuite "multiset-props" multiset_qcheck;
+      ( "line",
+        [
+          Alcotest.test_case "contains" `Quick test_line_basics;
+          Alcotest.test_case "covers" `Quick test_line_covers;
+          Alcotest.test_case "expand" `Quick test_line_expand;
+        ] );
+      ( "constr",
+        [
+          Alcotest.test_case "membership" `Quick test_constr;
+          Alcotest.test_case "expand-dedup" `Quick test_constr_expand;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "forms" `Quick test_parse_forms;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "problem" `Quick test_parse_problem;
+          Alcotest.test_case "scan" `Quick test_scan_labels;
+        ] );
+      ( "diagram",
+        [
+          Alcotest.test_case "mis-edge (Fig 1)" `Quick test_edge_diagram_mis;
+          Alcotest.test_case "right-closed" `Quick test_right_closed_mis;
+          Alcotest.test_case "minimal-elements" `Quick test_minimal_elements;
+          Alcotest.test_case "exact-vs-condensed" `Quick
+            test_node_diagram_exact_vs_condensed;
+        ] );
+      ( "rounde",
+        [
+          Alcotest.test_case "R(MIS)" `Quick test_r_mis;
+          Alcotest.test_case "SO fixed point" `Quick
+            test_sinkless_orientation_fixed_point;
+          Alcotest.test_case "Observation 4" `Quick
+            test_rbar_labels_right_closed;
+          Alcotest.test_case "antichain" `Quick test_rbar_maximality;
+          Alcotest.test_case "label-budget guard" `Quick test_rbar_guard;
+          Alcotest.test_case "coloring step" `Quick test_step_speedup_on_coloring;
+        ] );
+      ( "relax",
+        [
+          Alcotest.test_case "reflexive" `Quick test_relax_reflexive;
+          Alcotest.test_case "ordered" `Quick test_relax_with_order;
+          Alcotest.test_case "constraints" `Quick test_relax_constr;
+        ] );
+      ( "zeroround",
+        [
+          Alcotest.test_case "mis" `Quick test_zeroround_mis;
+          Alcotest.test_case "trivial" `Quick test_zeroround_trivial;
+          Alcotest.test_case "mirrored-vs-arbitrary" `Quick
+            test_zeroround_mirrored_but_not_arbitrary;
+          Alcotest.test_case "self-compatible" `Quick test_self_compatible;
+        ] );
+      ( "iso",
+        [
+          Alcotest.test_case "identity" `Quick test_iso_identity;
+          Alcotest.test_case "renamed" `Quick test_iso_renamed;
+          Alcotest.test_case "negative" `Quick test_iso_negative;
+          Alcotest.test_case "apply" `Quick test_apply_renaming;
+          Alcotest.test_case "dot export" `Quick test_diagram_dot;
+        ] );
+      qsuite "engine-props" engine_qcheck;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Simplify                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplify_merge () =
+  let p = Parse.problem ~name:"p" ~node:"A B C" ~edge:"A [BC]\nB C" in
+  let merged = Simplify.merge p ~from_:"B" ~into_:"C" in
+  check_int "one label fewer" 2 (Problem.label_count merged);
+  check_bool "B gone" false (Alphabet.mem_name merged.Problem.alpha "B")
+
+let test_merge_soundness () =
+  (* In MIS, O is stronger than P on edges but node-wise P cannot be
+     replaced by O (P O^2 is allowed, O^3 is not), so the merge is
+     unsound; merging P into O would produce a problem where the MIS
+     structure is lost. *)
+  check_bool "P->O unsound" false
+    (Simplify.merge_is_sound mis3 ~from_:"P" ~into_:"O");
+  (* A problem with a genuinely redundant label. *)
+  let q =
+    Parse.problem ~name:"q" ~node:"A [AB] [AB]" ~edge:"[AB] [AB]"
+  in
+  check_bool "B->A sound" true (Simplify.merge_is_sound q ~from_:"B" ~into_:"A")
+
+let test_merge_equivalent () =
+  let q = Parse.problem ~name:"q" ~node:"[AB] [AB] [AB]" ~edge:"[AB] [AB]" in
+  let simplified = Simplify.merge_equivalent q in
+  check_int "collapsed to 1 label" 1 (Problem.label_count simplified);
+  (* MIS has no equivalent labels: unchanged. *)
+  check_bool "mis unchanged" true
+    (Problem.label_count (Simplify.merge_equivalent mis3) = 3)
+
+let test_drop_redundant () =
+  let p =
+    Parse.problem ~name:"p" ~node:"[AB] [AB] [AB]\nA B A" ~edge:"[AB] [AB]\nA B"
+  in
+  let pruned = Simplify.drop_redundant_lines p in
+  check_int "node lines" 1 (List.length (Constr.lines pruned.Problem.node));
+  check_int "edge lines" 1 (List.length (Constr.lines pruned.Problem.edge))
+
+(* ------------------------------------------------------------------ *)
+(* Serialize                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_serialize_roundtrip () =
+  (* Re-parsing may reorder the alphabet, so compare constraints after
+     remapping labels by name. *)
+  let equal_by_names (a : Problem.t) (b : Problem.t) =
+    Alphabet.size a.Problem.alpha = Alphabet.size b.Problem.alpha
+    &&
+    match
+      List.map
+        (fun la -> Alphabet.find b.Problem.alpha (Alphabet.name a.Problem.alpha la))
+        (Alphabet.labels a.Problem.alpha)
+    with
+    | mapping_list ->
+        let mapping = Array.of_list mapping_list in
+        let remap_set set =
+          Labelset.fold
+            (fun l acc -> Labelset.add mapping.(l) acc)
+            set Labelset.empty
+        in
+        let remap = Constr.map_lines (Line.map_syms remap_set) in
+        Constr.equal (remap a.Problem.node) b.Problem.node
+        && Constr.equal (remap a.Problem.edge) b.Problem.edge
+    | exception Not_found -> false
+  in
+  let check_roundtrip p =
+    let p' = Serialize.of_string (Serialize.to_string p) in
+    check_bool ("roundtrip " ^ p.Problem.name) true (equal_by_names p p')
+  in
+  check_roundtrip mis3;
+  check_roundtrip (Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I");
+  (* A problem with multi-character labels (from a speedup step). *)
+  let { Rounde.problem = stepped; _ } = Rounde.step mis3 in
+  check_roundtrip stepped
+
+let test_serialize_errors () =
+  match Serialize.of_string "garbage here" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected parse failure"
+
+(* ------------------------------------------------------------------ *)
+(* Fixedpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixedpoint_so () =
+  let so = Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I" in
+  match Fixedpoint.detect so with
+  | Fixedpoint.Reaches_fixed_point (steps, p) ->
+      check_bool "few steps" true (steps <= 3);
+      check_bool "fixed problem not 0-round solvable" true
+        (Zeroround.solvable_arbitrary_ports p = None);
+      check_bool "lower bound statement" true
+        (Fixedpoint.lower_bound_statement (Fixedpoint.detect so) <> None)
+  | Fixedpoint.Fixed_point _ -> () (* also acceptable *)
+  | Fixedpoint.No_fixed_point_found _ -> Alcotest.fail "SO must stabilize"
+
+let test_fixedpoint_trivial () =
+  let triv = Parse.problem ~name:"t" ~node:"A A A" ~edge:"A A" in
+  match Fixedpoint.detect triv with
+  | Fixedpoint.Fixed_point _ | Fixedpoint.Reaches_fixed_point _ ->
+      (* Trivial problems are fixed points but 0-round solvable: no
+         lower bound may be claimed. *)
+      check_bool "no statement" true
+        (Fixedpoint.lower_bound_statement (Fixedpoint.detect triv) = None)
+  | Fixedpoint.No_fixed_point_found _ -> Alcotest.fail "trivial is a fixed point"
+
+(* ------------------------------------------------------------------ *)
+(* Definitional cross-checks of R and Rbar                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Brute-force check of Section 2.3's definitions on a small problem:
+   the engine's R must produce (a) an edge constraint whose pairs are
+   exactly the maximal all-compatible set pairs, and (b) a node
+   constraint containing a multiset of new labels iff some choice of
+   members forms an allowed configuration of the original problem. *)
+let cross_check_r p =
+  let { Rounde.problem = p'; denotations } = Rounde.r p in
+  let n_old = Problem.label_count p in
+  (* compat matrix *)
+  let compat = Array.make_matrix n_old n_old false in
+  List.iter
+    (fun line ->
+      Line.expand line (fun m ->
+          match Multiset.to_list m with
+          | [ a; b ] ->
+              compat.(a).(b) <- true;
+              compat.(b).(a) <- true
+          | _ -> assert false))
+    (Constr.lines p.Problem.edge);
+  let all_compat s1 s2 =
+    Labelset.for_all (fun a -> Labelset.for_all (fun b -> compat.(a).(b)) s2) s1
+  in
+  (* (a) every engine edge pair is valid and maximal *)
+  List.iter
+    (fun line ->
+      match Line.to_multiset line with
+      | Some m ->
+          (match Multiset.to_list m with
+          | [ l1; l2 ] ->
+              let s1 = denotations.(l1) and s2 = denotations.(l2) in
+              check_bool "valid pair" true (all_compat s1 s2);
+              (* maximal: no strict superset pair still valid *)
+              List.iter
+                (fun bigger ->
+                  if Labelset.strict_subset s1 bigger then
+                    check_bool "maximal left" false (all_compat bigger s2))
+                (Labelset.nonempty_subsets (Labelset.full n_old))
+          | _ -> Alcotest.fail "edge arity")
+      | None -> Alcotest.fail "non-concrete R edge line")
+    (Constr.lines p'.Problem.edge);
+  (* (b) node constraint extensionally correct *)
+  let n_new = Problem.label_count p' in
+  let delta = Problem.delta p in
+  let new_labels = List.init n_new Fun.id in
+  Util.multisets new_labels delta (fun labels ->
+      let candidate = Multiset.of_list labels in
+      let in_engine = Constr.mem p'.Problem.node candidate in
+      (* brute-force: exists a choice from the denotations in N_Pi *)
+      let rec choices acc = function
+        | [] -> Constr.mem p.Problem.node (Multiset.of_list acc)
+        | l :: rest ->
+            Labelset.exists
+              (fun member -> choices (member :: acc) rest)
+              denotations.(l)
+      in
+      check_bool "node extensional" in_engine (choices [] labels))
+
+let test_r_definition_mis () = cross_check_r mis3
+
+let test_r_definition_family () =
+  cross_check_r
+    (Parse.problem ~name:"pi" ~node:"M^3 X\nA^3 X\nP O^3"
+       ~edge:"M [PAOX]\nO [MAOX]\nP [MX]\nA [MOX]\nX [MPAOX]")
+
+(* Rbar extensional check: a multiset of right-closed sets is dominated
+   by some output box iff all its choices are allowed. *)
+let test_rbar_definition () =
+  let { Rounde.problem = p'; _ } = Rounde.r mis3 in
+  let { Rounde.problem = p''; denotations } = Rounde.rbar p' in
+  let configs = Constr.expand p'.Problem.node in
+  let mem_n m = List.exists (Multiset.equal m) configs in
+  let boxes =
+    List.map
+      (fun line ->
+        match Line.to_multiset line with
+        | Some m -> List.map (fun l -> denotations.(l)) (Multiset.to_list m)
+        | None -> Alcotest.fail "non-concrete")
+      (Constr.lines p''.Problem.node)
+  in
+  let dominated sets =
+    List.exists
+      (fun box ->
+        let a = Array.of_list sets and b = Array.of_list box in
+        Util.transport_feasible
+          ~supply:(Array.map (fun _ -> 1) a)
+          ~demand:(Array.map (fun _ -> 1) b)
+          ~allowed:(fun i j -> Labelset.subset a.(i) b.(j)))
+      boxes
+  in
+  let n' = Problem.label_count p' in
+  let delta = Constr.arity p'.Problem.node in
+  let subsets = Labelset.nonempty_subsets (Labelset.full n') in
+  Util.multisets subsets delta (fun sets ->
+      let all_choices_ok =
+        let rec go acc = function
+          | [] -> mem_n (Multiset.of_list acc)
+          | s :: rest ->
+              Labelset.for_all (fun l -> go (l :: acc) rest) s
+        in
+        go [] sets
+      in
+      check_bool "box iff dominated" all_choices_ok (dominated sets))
+
+(* Transportation feasibility cross-checked against brute-force
+   perfect-matching search on small instances. *)
+let transport_qcheck =
+  let gen =
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 4) (int_range 1 3))
+        (list_of_size (Gen.int_range 1 4) (int_range 1 3))
+        (int_range 0 65535))
+  in
+  [
+    QCheck.Test.make ~name:"transport-equals-bruteforce" ~count:200 gen
+      (fun (supply, demand, mask) ->
+        let supply = Array.of_list supply and demand = Array.of_list demand in
+        let ns = Array.length supply and nd = Array.length demand in
+        let allowed i j = (mask lsr ((i * nd) + j)) land 1 = 1 in
+        let fast = Util.transport_feasible ~supply ~demand ~allowed in
+        (* Brute force: expand to unit items and search for a perfect
+           assignment by backtracking. *)
+        let total_s = Array.fold_left ( + ) 0 supply in
+        let total_d = Array.fold_left ( + ) 0 demand in
+        let slow =
+          total_s = total_d
+          &&
+          let items =
+            List.concat
+              (List.init ns (fun i -> List.init supply.(i) (fun _ -> i)))
+          in
+          let remaining = Array.copy demand in
+          let rec place = function
+            | [] -> true
+            | i :: rest ->
+                let ok = ref false in
+                for j = 0 to nd - 1 do
+                  if (not !ok) && remaining.(j) > 0 && allowed i j then begin
+                    remaining.(j) <- remaining.(j) - 1;
+                    if place rest then ok := true;
+                    remaining.(j) <- remaining.(j) + 1
+                  end
+                done;
+                !ok
+          in
+          place items
+        in
+        fast = slow);
+  ]
+
+(* Theorem 3 sanity (easy direction): if a problem is 0-round solvable
+   in the PN model (arbitrary ports), its speedup step must remain
+   0-round solvable — complexity max(T-1, 0) = 0.  Tested on random
+   3-label, Delta=3 problems small enough for the full engine. *)
+let theorem3_qcheck =
+  let gen =
+    (* Random node constraint: a non-empty subset of the 10 multisets
+       of size 3 over 3 labels; random symmetric edge compatibility. *)
+    QCheck.(pair (int_range 1 1023) (int_range 1 63))
+  in
+  [
+    QCheck.Test.make ~name:"speedup-preserves-0-round-solvability" ~count:60
+      gen
+      (fun (node_mask, edge_mask) ->
+        let alpha = Alphabet.create [ "A"; "B"; "C" ] in
+        let multisets3 = ref [] in
+        Util.multisets [ 0; 1; 2 ] 3 (fun ls -> multisets3 := ls :: !multisets3);
+        let node_lines =
+          List.filteri (fun i _ -> (node_mask lsr i) land 1 = 1) !multisets3
+          |> List.map (fun ls -> Line.of_multiset (Multiset.of_list ls))
+        in
+        let pairs = [ (0, 0); (0, 1); (0, 2); (1, 1); (1, 2); (2, 2) ] in
+        let edge_lines =
+          List.filteri (fun i _ -> (edge_mask lsr i) land 1 = 1) pairs
+          |> List.map (fun (a, b) -> Line.of_multiset (Multiset.of_list [ a; b ]))
+        in
+        if node_lines = [] || edge_lines = [] then true
+        else begin
+          let p =
+            Problem.make ~name:"rnd" ~alpha
+              ~node:(Constr.make node_lines)
+              ~edge:(Constr.make edge_lines)
+          in
+          match Zeroround.solvable_arbitrary_ports p with
+          | None -> true (* nothing to check in this direction *)
+          | Some _ -> begin
+              match Rounde.step p with
+              | { Rounde.problem = stepped; _ } ->
+                  Zeroround.solvable_arbitrary_ports stepped <> None
+              | exception Failure _ -> true (* engine budget; skip *)
+            end
+        end);
+  ]
+
+(* Random small problems shared by several property suites. *)
+let random_problem (node_mask, edge_mask) =
+  let multisets3 = ref [] in
+  Util.multisets [ 0; 1; 2 ] 3 (fun ls -> multisets3 := ls :: !multisets3);
+  let node_lines =
+    List.filteri (fun i _ -> (node_mask lsr i) land 1 = 1) !multisets3
+    |> List.map (fun ls -> Line.of_multiset (Multiset.of_list ls))
+  in
+  let pairs = [ (0, 0); (0, 1); (0, 2); (1, 1); (1, 2); (2, 2) ] in
+  let edge_lines =
+    List.filteri (fun i _ -> (edge_mask lsr i) land 1 = 1) pairs
+    |> List.map (fun (a, b) -> Line.of_multiset (Multiset.of_list [ a; b ]))
+  in
+  if node_lines = [] || edge_lines = [] then None
+  else
+    Some
+      (Problem.make ~name:"rnd"
+         ~alpha:(Alphabet.create [ "A"; "B"; "C" ])
+         ~node:(Constr.make node_lines)
+         ~edge:(Constr.make edge_lines))
+
+let invariant_qcheck =
+  let gen = QCheck.(pair (int_range 1 1023) (int_range 1 63)) in
+  [
+    QCheck.Test.make ~name:"serialize-roundtrip-random" ~count:100 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            (* Serialization drops labels that appear in no
+               configuration, so compare modulo trimming. *)
+            let p' = Serialize.of_string (Serialize.to_string p) in
+            Iso.equal_up_to_renaming (Problem.trim p) p');
+    QCheck.Test.make ~name:"drop-redundant-preserves-semantics" ~count:100 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            let pruned = Simplify.drop_redundant_lines p in
+            let set c =
+              List.sort_uniq Multiset.compare (Constr.expand c)
+            in
+            List.equal Multiset.equal (set p.Problem.node)
+              (set pruned.Problem.node)
+            && List.equal Multiset.equal (set p.Problem.edge)
+                 (set pruned.Problem.edge));
+    QCheck.Test.make ~name:"line-contains-equals-expansion" ~count:100
+      QCheck.(pair (int_range 1 30) (int_range 0 100))
+      (fun (set_bits, pick) ->
+        (* A random condensed line of arity 3 over 3 labels. *)
+        let s1 = Labelset.of_bits (1 + (set_bits land 3)) in
+        let s2 = Labelset.of_bits (1 + (set_bits lsr 2 land 3)) in
+        let l = Line.make [ (s1, 1); (s2, 2) ] in
+        (* A random multiset of the same arity. *)
+        let m =
+          Multiset.of_list
+            [ pick mod 3; pick / 3 mod 3; pick / 9 mod 3 ]
+        in
+        let brute = ref false in
+        Line.expand l (fun m' -> if Multiset.equal m m' then brute := true);
+        Line.contains l m = !brute);
+    QCheck.Test.make ~name:"edge-diagram-strength-semantics" ~count:100 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            (* a >= b iff substituting a for one b preserves membership
+               for every allowed edge configuration. *)
+            let d = Diagram.edge_diagram p in
+            let configs = Constr.expand p.Problem.edge in
+            List.for_all
+              (fun a ->
+                List.for_all
+                  (fun b ->
+                    let brute =
+                      List.for_all
+                        (fun c ->
+                          (not (Multiset.mem b c))
+                          || Constr.mem p.Problem.edge
+                               (Multiset.replace_one ~remove:b ~add:a c))
+                        configs
+                    in
+                    Diagram.geq d a b = brute)
+                  [ 0; 1; 2 ])
+              [ 0; 1; 2 ]);
+  ]
+
+let extra_suites =
+  [
+    ( "simplify",
+      [
+        Alcotest.test_case "merge" `Quick test_simplify_merge;
+        Alcotest.test_case "soundness" `Quick test_merge_soundness;
+        Alcotest.test_case "equivalents" `Quick test_merge_equivalent;
+        Alcotest.test_case "redundant lines" `Quick test_drop_redundant;
+      ] );
+    ( "serialize",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+        Alcotest.test_case "errors" `Quick test_serialize_errors;
+      ] );
+    ( "fixedpoint",
+      [
+        Alcotest.test_case "sinkless orientation" `Quick test_fixedpoint_so;
+        Alcotest.test_case "trivial" `Quick test_fixedpoint_trivial;
+      ] );
+    ( "definitions",
+      [
+        Alcotest.test_case "R on MIS" `Quick test_r_definition_mis;
+        Alcotest.test_case "R on the family" `Quick test_r_definition_family;
+        Alcotest.test_case "Rbar extensional" `Quick test_rbar_definition;
+      ] );
+    ( "theorem3-props",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) theorem3_qcheck );
+    ( "transport-props",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) transport_qcheck );
+    ( "invariants",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) invariant_qcheck );
+    ( "upperbound",
+      [
+        Alcotest.test_case "trivial is 0-round" `Quick (fun () ->
+            let triv = Parse.problem ~name:"t" ~node:"A A A" ~edge:"A A" in
+            match Upperbound.search triv with
+            | Upperbound.Solvable_in 0 -> ()
+            | Upperbound.Solvable_in k ->
+                Alcotest.failf "expected 0 steps, got %d" k
+            | Upperbound.Unknown_after _ -> Alcotest.fail "must be solvable");
+        Alcotest.test_case "SO stays unsolvable" `Quick (fun () ->
+            let so = Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I" in
+            match Upperbound.search ~max_steps:3 so with
+            | Upperbound.Unknown_after _ -> ()
+            | Upperbound.Solvable_in k ->
+                Alcotest.failf "SO cannot be %d-round solvable" k);
+        Alcotest.test_case "consistency with the 0-round decider" `Quick
+          (fun () ->
+            (* Whenever the search answers Solvable_in k with k >= 1,
+               re-deriving the k-step image must confirm it. *)
+            let p =
+              Parse.problem ~name:"p" ~node:"M M M\nP O O" ~edge:"M [PO]\nO O"
+            in
+            match Upperbound.search ~max_steps:2 p with
+            | Upperbound.Solvable_in k ->
+                let rec image q i =
+                  if i = 0 then q
+                  else image (Simplify.normalize (Rounde.step q).Rounde.problem) (i - 1)
+                in
+                check_bool "image solvable" true
+                  (Zeroround.solvable_arbitrary_ports (image p k) <> None)
+            | Upperbound.Unknown_after _ -> ());
+      ] );
+  ]
+
+let () = Alcotest.run "relim" (main_suites @ extra_suites)

@@ -1,0 +1,20 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate: everything must compile and every test suite must pass.
+check:
+	dune build
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

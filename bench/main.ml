@@ -810,6 +810,152 @@ let bechamel_suite () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* P2: engine per-step statistics, dumped to BENCH_relim.json          *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per R̄∘R application: label counts, wall time, and the
+   engine's internal counters (closed sets visited by R, join
+   candidates, boxes emitted/pruned by R̄). *)
+type step_row = {
+  step : int;
+  labels_in : int;
+  labels_out : int;
+  wall_s : float;
+  r_time_s : float;
+  rbar_time_s : float;
+  closures_visited : int;
+  closure_joins : int;
+  closure_revisits : int;
+  boxes_emitted : int;
+  boxes_pruned : int;
+}
+
+let measure_steps name p ~max_steps =
+  result "%s:@." name;
+  let rows = ref [] in
+  let rec go q i =
+    if i <= max_steps then begin
+      Relim.Rounde.reset_stats ();
+      let t0 = Unix.gettimeofday () in
+      match Relim.Rounde.step q with
+      | { Relim.Rounde.problem = next; _ } ->
+          let wall_s = Unix.gettimeofday () -. t0 in
+          let s = Relim.Rounde.stats in
+          let row =
+            {
+              step = i;
+              labels_in = Relim.Problem.label_count q;
+              labels_out = Relim.Problem.label_count next;
+              wall_s;
+              r_time_s = s.Relim.Rounde.r_time_s;
+              rbar_time_s = s.Relim.Rounde.rbar_time_s;
+              closures_visited = s.Relim.Rounde.closures_visited;
+              closure_joins = s.Relim.Rounde.closure_joins;
+              closure_revisits = s.Relim.Rounde.closure_revisits;
+              boxes_emitted = s.Relim.Rounde.boxes_emitted;
+              boxes_pruned = s.Relim.Rounde.boxes_pruned;
+            }
+          in
+          rows := row :: !rows;
+          result
+            "  step %d: %2d -> %2d labels  %9.3f ms wall (R %.3f ms, Rbar %.3f \
+             ms)  %d closed sets (%d joins), %d boxes (+%d pruned)@."
+            i row.labels_in row.labels_out (1e3 *. wall_s)
+            (1e3 *. row.r_time_s) (1e3 *. row.rbar_time_s)
+            row.closures_visited row.closure_joins row.boxes_emitted
+            row.boxes_pruned;
+          go (Relim.Simplify.normalize next) (i + 1)
+      | exception Failure msg ->
+          result "  step %d: stopped — %s@." i msg
+    end
+  in
+  go p 1;
+  (name, List.rev !rows)
+
+let relim_perf () =
+  section "P2" "Engine per-step statistics (R closed-set enumeration + memoized driver)";
+  let mis = measure_steps "MIS (Delta=3)" (Lcl.Encodings.mis ~delta:3) ~max_steps:4 in
+  let so_rows =
+    measure_steps "SO (Delta=3)"
+      (Lcl.Encodings.sinkless_orientation ~delta:3)
+      ~max_steps:2
+  in
+  let pi4 =
+    measure_steps "Pi(4,3,1)"
+      (Core.Family.pi { Core.Family.delta = 4; a = 3; x = 1 })
+      ~max_steps:2
+  in
+  let pi5 =
+    measure_steps "Pi(5,4,2)"
+      (Core.Family.pi { Core.Family.delta = 5; a = 4; x = 2 })
+      ~max_steps:2
+  in
+  let problems = [ mis; so_rows; pi4; pi5 ] in
+  (* Fixed-point driver memo cache: the second detection of the same
+     problem replays entirely from the cache. *)
+  let so = Lcl.Encodings.sinkless_orientation ~delta:3 in
+  Relim.Fixedpoint.clear_cache ();
+  Relim.Fixedpoint.reset_stats ();
+  ignore (Relim.Fixedpoint.detect so);
+  let fp = Relim.Fixedpoint.stats in
+  let first =
+    (fp.Relim.Fixedpoint.steps_applied, fp.Relim.Fixedpoint.cache_hits,
+     fp.Relim.Fixedpoint.cache_misses, fp.Relim.Fixedpoint.step_time_s)
+  in
+  ignore (Relim.Fixedpoint.detect so);
+  let steps1, hits1, misses1, time1 = first in
+  let second =
+    (fp.Relim.Fixedpoint.steps_applied - steps1,
+     fp.Relim.Fixedpoint.cache_hits - hits1,
+     fp.Relim.Fixedpoint.cache_misses - misses1,
+     fp.Relim.Fixedpoint.step_time_s -. time1)
+  in
+  let steps2, hits2, misses2, time2 = second in
+  result
+    "@.fixed-point memo on SO (Delta=3): first detect %d steps (%d hits, %d \
+     misses, %.3f ms); repeat %d steps (%d hits, %d misses, %.3f ms)@."
+    steps1 hits1 misses1 (1e3 *. time1) steps2 hits2 misses2 (1e3 *. time2);
+  Relim.Fixedpoint.clear_cache ();
+  (* JSON dump. *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"bench\": \"relim\",\n  \"problems\": [\n";
+  List.iteri
+    (fun pi (name, rows) ->
+      if pi > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": %S, \"steps\": [\n" name);
+      List.iteri
+        (fun ri row ->
+          if ri > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"step\": %d, \"labels_in\": %d, \"labels_out\": %d, \
+                \"wall_s\": %.6f, \"r_time_s\": %.6f, \"rbar_time_s\": %.6f, \
+                \"closures_visited\": %d, \"closure_joins\": %d, \
+                \"closure_revisits\": %d, \"boxes_emitted\": %d, \
+                \"boxes_pruned\": %d }"
+               row.step row.labels_in row.labels_out row.wall_s row.r_time_s
+               row.rbar_time_s row.closures_visited row.closure_joins
+               row.closure_revisits row.boxes_emitted row.boxes_pruned))
+        rows;
+      Buffer.add_string buf "\n    ] }")
+    problems;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"fixedpoint_cache_so_delta3\": {\n\
+       \    \"first\": { \"steps_applied\": %d, \"cache_hits\": %d, \
+        \"cache_misses\": %d, \"step_time_s\": %.6f },\n\
+       \    \"second\": { \"steps_applied\": %d, \"cache_hits\": %d, \
+        \"cache_misses\": %d, \"step_time_s\": %.6f }\n\
+       \  }\n}\n"
+       steps1 hits1 misses1 time1 steps2 hits2 misses2 time2);
+  let oc = open_out "BENCH_relim.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  result "@.wrote BENCH_relim.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -835,6 +981,7 @@ let all_sections =
     ("ruling_sets", ruling_sets);
     ("views", views);
     ("congest", congest);
+    ("relim_perf", relim_perf);
     ("bechamel", bechamel_suite);
   ]
 

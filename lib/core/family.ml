@@ -7,20 +7,39 @@ let check_params { delta; a; x } =
 
 let pi_label_names = [ "M"; "P"; "O"; "A"; "X" ]
 
+(* The paper's formulas naturally produce empty groups (e.g. X^0 when
+   x = 0); the parser rejects an explicit ^0, so omit them when
+   rendering.  A configuration must keep at least one group. *)
+let config groups =
+  match List.filter (fun (_, c) -> c <> 0) groups with
+  | [] -> invalid_arg "Family: configuration with no labels"
+  | groups ->
+      String.concat " "
+        (List.map
+           (fun (name, c) ->
+             if c = 1 then name else Printf.sprintf "%s^%d" name c)
+           groups)
+
+(* The alphabets are fixed explicitly (in the seed's interning order)
+   so that the label indices never depend on (a, x) — [Lemma5] resolves
+   its indices against a throwaway instance and relies on this. *)
 let pi ({ delta; a; x } as params) =
   check_params params;
+  let alpha = Relim.Alphabet.create [ "M"; "X"; "A"; "P"; "O" ] in
   let node =
     String.concat "\n"
       [
-        Printf.sprintf "M^%d X^%d" (delta - x) x;
-        Printf.sprintf "A^%d X^%d" a (delta - a);
-        Printf.sprintf "P O^%d" (delta - 1);
+        config [ ("M", delta - x); ("X", x) ];
+        config [ ("A", a); ("X", delta - a) ];
+        config [ ("P", 1); ("O", delta - 1) ];
       ]
   in
   let edge = "M [PAOX]\nO [MAOX]\nP [MX]\nA [MOX]\nX [MPAOX]" in
-  Relim.Parse.problem
+  Relim.Problem.make
     ~name:(Printf.sprintf "Pi(Delta=%d,a=%d,x=%d)" delta a x)
-    ~node ~edge
+    ~alpha
+    ~node:(Relim.Parse.constr alpha ~arity:delta node)
+    ~edge:(Relim.Parse.constr alpha ~arity:2 edge)
 
 let require_lemma6_range ({ delta; a; x } as params) =
   check_params params;
@@ -29,13 +48,14 @@ let require_lemma6_range ({ delta; a; x } as params) =
 
 let pi_plus ({ delta; a; x } as params) =
   require_lemma6_range params;
+  let alpha = Relim.Alphabet.create [ "M"; "X"; "P"; "O"; "A"; "C" ] in
   let node =
     String.concat "\n"
       [
-        Printf.sprintf "M^%d X^%d" (delta - x - 1) (x + 1);
-        Printf.sprintf "P O^%d" (delta - 1);
-        Printf.sprintf "A^%d X^%d" (a - x - 1) (delta - a + x + 1);
-        Printf.sprintf "C^%d X^%d" (delta - x) x;
+        config [ ("M", delta - x - 1); ("X", x + 1) ];
+        config [ ("P", 1); ("O", delta - 1) ];
+        config [ ("A", a - x - 1); ("X", delta - a + x + 1) ];
+        config [ ("C", delta - x); ("X", x) ];
       ]
   in
   (* Edge constraint: the disjunction-method image of R(Π)'s edge
@@ -51,24 +71,31 @@ let pi_plus ({ delta; a; x } as params) =
         "[XPOAC] [MX]";
       ]
   in
-  Relim.Parse.problem
+  Relim.Problem.make
     ~name:(Printf.sprintf "Pi+(Delta=%d,a=%d,x=%d)" delta a x)
-    ~node ~edge
+    ~alpha
+    ~node:(Relim.Parse.constr alpha ~arity:delta node)
+    ~edge:(Relim.Parse.constr alpha ~arity:2 edge)
 
 let r_pi_claimed ({ delta; a; x } as params) =
   require_lemma6_range params;
+  let alpha =
+    Relim.Alphabet.create [ "M"; "U"; "B"; "Q"; "X"; "O"; "A"; "P" ]
+  in
   let node =
     String.concat "\n"
       [
-        Printf.sprintf "[MUBQ]^%d [XMOUABPQ]^%d" (delta - x) x;
-        Printf.sprintf "[PQ] [OUABPQ]^%d" (delta - 1);
-        Printf.sprintf "[ABPQ]^%d [XMOUABPQ]^%d" a (delta - a);
+        config [ ("[MUBQ]", delta - x); ("[XMOUABPQ]", x) ];
+        config [ ("[PQ]", 1); ("[OUABPQ]", delta - 1) ];
+        config [ ("[ABPQ]", a); ("[XMOUABPQ]", delta - a) ];
       ]
   in
   let edge = "X Q\nO B\nA U\nP M" in
-  Relim.Parse.problem
+  Relim.Problem.make
     ~name:(Printf.sprintf "R(Pi)(Delta=%d,a=%d,x=%d)" delta a x)
-    ~node ~edge
+    ~alpha
+    ~node:(Relim.Parse.constr alpha ~arity:delta node)
+    ~edge:(Relim.Parse.constr alpha ~arity:2 edge)
 
 let r_pi_denotations =
   [
@@ -96,12 +123,16 @@ let set_ubpq = [ "U"; "B"; "P"; "Q" ]
 
 let pi_rel_node_lines ({ delta; a; x } as params) =
   require_lemma6_range params;
-  [
-    [ (set_mubq, delta - x - 1); (set_all, x + 1) ];
-    [ (set_pq, 1); (set_ouabpq, delta - 1) ];
-    [ (set_abpq, a - x - 1); (set_all, delta - a + x + 1) ];
-    [ (set_ubpq, delta - x); (set_all, x) ];
-  ]
+  (* Empty groups (count 0, e.g. the trailing [set_all]^x when x = 0)
+     are dropped here; [Line.make] now rejects explicit zero counts. *)
+  List.map
+    (List.filter (fun (_, c) -> c <> 0))
+    [
+      [ (set_mubq, delta - x - 1); (set_all, x + 1) ];
+      [ (set_pq, 1); (set_ouabpq, delta - 1) ];
+      [ (set_abpq, a - x - 1); (set_all, delta - a + x + 1) ];
+      [ (set_ubpq, delta - x); (set_all, x) ];
+    ]
 
 let pi_rel_renaming =
   [

@@ -1,18 +1,35 @@
 module Graph = Dsgraph.Graph
 
+(* The encodings below naturally produce zero-count groups when
+   delta = 1 (e.g. O^0); the parser rejects an explicit ^0, so omit
+   such groups when rendering a configuration. *)
+let config groups =
+  match List.filter (fun (_, c) -> c <> 0) groups with
+  | [] -> invalid_arg "Encodings: configuration with no labels"
+  | groups ->
+      String.concat " "
+        (List.map
+           (fun (atom, c) ->
+             if c = 1 then atom else Printf.sprintf "%s^%d" atom c)
+           groups)
+
 let mis ~delta =
   Relim.Parse.problem ~name:(Printf.sprintf "MIS(Delta=%d)" delta)
-    ~node:(Printf.sprintf "M^%d\nP O^%d" delta (delta - 1))
+    ~node:
+      (String.concat "\n"
+         [ config [ ("M", delta) ]; config [ ("P", 1); ("O", delta - 1) ] ])
     ~edge:"M [PO]\nO O"
 
 let sinkless_orientation ~delta =
   Relim.Parse.problem ~name:(Printf.sprintf "SO(Delta=%d)" delta)
-    ~node:(Printf.sprintf "O [IO]^%d" (delta - 1))
+    ~node:(config [ ("O", 1); ("[IO]", delta - 1) ])
     ~edge:"O I"
 
 let maximal_matching ~delta =
   Relim.Parse.problem ~name:(Printf.sprintf "MM(Delta=%d)" delta)
-    ~node:(Printf.sprintf "M O^%d\nP^%d" (delta - 1) delta)
+    ~node:
+      (String.concat "\n"
+         [ config [ ("M", 1); ("O", delta - 1) ]; config [ ("P", delta) ] ])
     ~edge:"M M\nO [OP]"
 
 let coloring ~delta ~colors =
@@ -39,7 +56,12 @@ let weak_2_coloring ~delta =
      with the other color's labels, which encodes "at least one
      neighbor has the other color". *)
   Relim.Parse.problem ~name:(Printf.sprintf "weak2col(Delta=%d)" delta)
-    ~node:(Printf.sprintf "a A^%d\nb B^%d" (delta - 1) (delta - 1))
+    ~node:
+      (String.concat "\n"
+         [
+           config [ ("a", 1); ("A", delta - 1) ];
+           config [ ("b", 1); ("B", delta - 1) ];
+         ])
     ~edge:"a [Bb]\nb [Aa]\nA [AB]\nB B"
 
 let mis_labeling g mis_sel =

@@ -13,8 +13,11 @@ type verdict =
           renaming maps labels of the speedup result to labels of the
           normalized input, which is returned. *)
   | Reaches_fixed_point of int * Problem.t
-      (** Iterating the speedup step stabilized after the given number
-          of steps on the given problem. *)
+      (** [Reaches_fixed_point (i, p)]: iterating the speedup step
+          stabilized; [i] is the exact number of [R̄ ∘ R] applications
+          performed, and [p] — the fixed problem — is the result of
+          [i - 1] of them (the [i]-th application confirmed [p ≅
+          step p]).  So [i >= 2] always. *)
   | No_fixed_point_found of Problem.t
       (** Not stabilized within the step budget; the last problem
           reached is returned. *)
@@ -22,9 +25,36 @@ type verdict =
 (** [detect ?normalize_first ?max_steps ?expand_limit p] iterates
     [R̄ ∘ R] (normalizing after each step) looking for stabilization up
     to renaming.
+
+    Speedup results are memoized across calls in a process-global
+    cache keyed by the normalized problem up to isomorphism
+    ({!Iso.invariant_hash} buckets + isomorphism check), so repeated
+    detection over a family of related problems reuses work.  A cache
+    hit may return an isomorphic representative of the step result
+    rather than the structurally identical problem — detection only
+    ever compares up to renaming, so verdicts are unaffected.  The
+    cache ignores [expand_limit] (memoized values are limit-independent
+    results of successful steps).
     @raise Failure if a step exceeds the engine's budgets. *)
 val detect :
   ?max_steps:int -> ?expand_limit:float -> Problem.t -> verdict
+
+(** Counters for the memoized driver: logical step applications
+    (including cache hits), cache hits/misses, and CPU seconds spent
+    inside [Rounde.step]. *)
+type stats = {
+  mutable steps_applied : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable step_time_s : float;
+}
+
+val stats : stats
+
+val reset_stats : unit -> unit
+
+(** Drop all memoized speedup results. *)
+val clear_cache : unit -> unit
 
 (** Convenience: [Some (det, rand)] lower-bound statement strings when
     a fixed point (immediate or eventual) was found and the fixed

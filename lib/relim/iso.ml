@@ -22,6 +22,19 @@ let remap_problem (p : Problem.t) (alpha' : Alphabet.t) mapping =
   let remap = Constr.map_lines (Line.map_syms remap_set) in
   Problem.make ~name:p.name ~alpha:alpha' ~node:(remap p.node) ~edge:(remap p.edge)
 
+(* Renaming preserves every label's signature and permutes the label
+   set, so hashing the sorted signature list (plus a few global counts)
+   is invariant under isomorphism. *)
+let invariant_hash (p : Problem.t) =
+  let n = Alphabet.size p.alpha in
+  let sigs = List.sort compare (List.init n (signature p)) in
+  Hashtbl.hash
+    ( Problem.delta p,
+      n,
+      List.length (Constr.lines p.node),
+      List.length (Constr.lines p.edge),
+      sigs )
+
 let find_renaming (a : Problem.t) (b : Problem.t) =
   let na = Alphabet.size a.alpha and nb = Alphabet.size b.alpha in
   if na <> nb then None

@@ -6,6 +6,13 @@
 
 type label = Labelset.label
 
+(** [invariant_hash p] is invariant under label renaming:
+    [equal_up_to_renaming a b] implies [invariant_hash a =
+    invariant_hash b] (the converse need not hold).  Built from the
+    sorted per-label occurrence signatures; used to bucket memoized
+    speedup results in {!Fixedpoint}. *)
+val invariant_hash : Problem.t -> int
+
 (** [find_renaming a b] searches for a bijection σ from [a]'s labels to
     [b]'s labels such that applying σ to [a]'s node and edge
     constraints yields exactly [b]'s (as sets of configurations).

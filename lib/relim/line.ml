@@ -7,7 +7,9 @@ let make pairs =
   List.iter
     (fun (s, c) ->
       if Labelset.is_empty s then invalid_arg "Line.make: empty symbol set";
-      if c < 0 then invalid_arg "Line.make: negative count")
+      if c < 0 then invalid_arg "Line.make: negative count";
+      if c = 0 then
+        invalid_arg "Line.make: zero count (dropping the group would change the arity)")
     pairs;
   let tbl = Hashtbl.create 8 in
   List.iter

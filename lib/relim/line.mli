@@ -11,8 +11,9 @@ type t
 
 type label = Labelset.label
 
-(** [make groups] merges equal symbol sets, drops zero counts, sorts.
-    @raise Invalid_argument on empty symbol sets or negative counts. *)
+(** [make groups] merges equal symbol sets and sorts.
+    @raise Invalid_argument on empty symbol sets or non-positive counts
+    (a silently dropped zero-count group would change the arity). *)
 val make : (Labelset.t * int) list -> t
 
 (** Groups in canonical order, counts positive, symbol sets distinct. *)

@@ -36,11 +36,45 @@ let mem l m = count m l > 0
 
 let support m = Array.fold_left (fun acc (l, _) -> Labelset.add l acc) Labelset.empty m
 
-let add l m = of_counts ((l, 1) :: counts m)
+(* [add] and [remove_one] sit inside the box-enumeration DFS of
+   [Rounde.rbar]; they insert into / delete from the sorted array
+   directly instead of rebuilding through a hashtable and a sort. *)
+
+let position l m =
+  let rec go i = if i < Array.length m && fst m.(i) < l then go (i + 1) else i in
+  go 0
+
+let add l m =
+  let n = Array.length m in
+  let i = position l m in
+  if i < n && fst m.(i) = l then begin
+    let out = Array.copy m in
+    out.(i) <- (l, snd m.(i) + 1);
+    out
+  end
+  else begin
+    let out = Array.make (n + 1) (l, 1) in
+    Array.blit m 0 out 0 i;
+    Array.blit m i out (i + 1) (n - i);
+    out
+  end
 
 let remove_one l m =
-  if not (mem l m) then raise Not_found;
-  of_counts (List.map (fun (l', c) -> if l' = l then (l', c - 1) else (l', c)) (counts m))
+  let n = Array.length m in
+  let i = position l m in
+  if i >= n || fst m.(i) <> l then raise Not_found;
+  let c = snd m.(i) in
+  if c > 1 then begin
+    let out = Array.copy m in
+    out.(i) <- (l, c - 1);
+    out
+  end
+  else begin
+    let out = Array.make (n - 1) (0, 0) in
+    Array.blit m 0 out 0 i;
+    Array.blit m (i + 1) out i (n - 1 - i);
+    out
+  end
 
 let replace_one ~remove ~add:a m = add a (remove_one remove m)
 

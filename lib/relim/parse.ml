@@ -12,8 +12,13 @@ let split_lines s =
 
 let bracket_content content =
   let content = String.trim content in
-  if content = "" then fail "empty disjunction []"
-  else if String.contains content ' ' then
+  if content = "" then fail "empty disjunction []";
+  String.iter
+    (fun c ->
+      if c = '^' || c = '[' then
+        fail "character %C not allowed inside a [...] group (in %S)" c content)
+    content;
+  if String.contains content ' ' then
     String.split_on_char ' ' content |> List.filter (fun s -> s <> "")
   else List.init (String.length content) (fun i -> String.make 1 content.[i])
 
@@ -31,7 +36,11 @@ let tokenize line_str =
         incr i
       done;
       if !i = start then fail "expected integer after ^ in %S" line_str;
-      int_of_string (String.sub line_str start (!i - start))
+      let count = int_of_string (String.sub line_str start (!i - start)) in
+      if count = 0 then
+        fail "zero count ^0 in %S (a dropped group would silently change the arity)"
+          line_str;
+      count
     end
     else 1
   in

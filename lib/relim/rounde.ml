@@ -1,5 +1,41 @@
 type denoted = { problem : Problem.t; denotations : Labelset.t array }
 
+type stats = {
+  mutable r_calls : int;
+  mutable closures_visited : int;
+  mutable closure_joins : int;
+  mutable closure_revisits : int;
+  mutable rbar_calls : int;
+  mutable boxes_emitted : int;
+  mutable boxes_pruned : int;
+  mutable r_time_s : float;
+  mutable rbar_time_s : float;
+}
+
+let stats =
+  {
+    r_calls = 0;
+    closures_visited = 0;
+    closure_joins = 0;
+    closure_revisits = 0;
+    rbar_calls = 0;
+    boxes_emitted = 0;
+    boxes_pruned = 0;
+    r_time_s = 0.;
+    rbar_time_s = 0.;
+  }
+
+let reset_stats () =
+  stats.r_calls <- 0;
+  stats.closures_visited <- 0;
+  stats.closure_joins <- 0;
+  stats.closure_revisits <- 0;
+  stats.rbar_calls <- 0;
+  stats.boxes_emitted <- 0;
+  stats.boxes_pruned <- 0;
+  stats.r_time_s <- 0.;
+  stats.rbar_time_s <- 0.
+
 (* Compatibility matrix of the edge constraint (symmetric). *)
 let compat_matrix (p : Problem.t) =
   let n = Alphabet.size p.alpha in
@@ -15,14 +51,57 @@ let compat_matrix (p : Problem.t) =
     (Constr.lines p.edge);
   compat
 
-(* [neighbors compat n s] = the set of labels compatible with every
-   member of [s]. *)
-let neighbors compat n s =
-  let acc = ref Labelset.empty in
-  for b = 0 to n - 1 do
-    if Labelset.for_all (fun a -> compat.(a).(b)) s then acc := Labelset.add b !acc
+(* Per-label neighbor masks: nbr.(b) = { a | compat a b }. *)
+let neighbor_masks compat n =
+  Array.init n (fun b ->
+      let acc = ref Labelset.empty in
+      for a = 0 to n - 1 do
+        if compat.(a).(b) then acc := Labelset.add a !acc
+      done;
+      !acc)
+
+(* [neighbors nbr n s] = the set of labels compatible with every member
+   of [s]: a fold of word-level ANDs over the members' masks. *)
+let neighbors nbr n s =
+  Labelset.fold (fun a acc -> Labelset.inter acc nbr.(a)) s (Labelset.full n)
+
+(* All Galois-closed label sets cl(S) = N(N(S)) arising from non-empty
+   S, where N is [neighbors].  Since the compatibility relation is
+   symmetric, N is its own adjoint and cl(S) is the join (in the
+   closure lattice) of the singleton closures cl({a}), a ∈ S — so a BFS
+   from the singleton closures, joining each newly discovered closed
+   set with every previously discovered one, visits each closed set
+   exactly once.  The closure lattice is exponentially smaller than the
+   2^n subset lattice in practice. *)
+let closed_sets nbr n =
+  let closure s = neighbors nbr n (neighbors nbr n s) in
+  let visited = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let enqueue s =
+    let key = Labelset.to_bits s in
+    if Hashtbl.mem visited key then
+      stats.closure_revisits <- stats.closure_revisits + 1
+    else begin
+      Hashtbl.add visited key ();
+      Queue.add s queue
+    end
+  in
+  (* cl({a}) = N(N({a})) and N({a}) is just the mask of a. *)
+  for a = 0 to n - 1 do
+    enqueue (neighbors nbr n nbr.(a))
   done;
-  !acc
+  let closed = ref [] in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    stats.closures_visited <- stats.closures_visited + 1;
+    List.iter
+      (fun t ->
+        stats.closure_joins <- stats.closure_joins + 1;
+        enqueue (closure (Labelset.union s t)))
+      !closed;
+    closed := s :: !closed
+  done;
+  !closed
 
 (* Build a fresh alphabet whose label [i] denotes the label set
    [denots.(i)] of [base]. *)
@@ -31,10 +110,15 @@ let intern_sets base denots =
   Alphabet.create names
 
 let r (p : Problem.t) =
+  let t0 = Sys.time () in
+  stats.r_calls <- stats.r_calls + 1;
   let n = Alphabet.size p.alpha in
   let compat = compat_matrix p in
+  let nbr = neighbor_masks compat n in
   (* Maximal valid pairs are the closed pairs of the Galois connection
-     S ↦ neighbors(S): collect (N(N(S)), N(S)) over all non-empty S. *)
+     S ↦ neighbors(S): exactly the pairs (A, N(A)) over closed A with
+     N(A) non-empty (each unordered pair arises from both of its
+     components, which are both closed). *)
   let module LS = Set.Make (struct
     type t = Labelset.t * Labelset.t
 
@@ -44,15 +128,13 @@ let r (p : Problem.t) =
   let pairs = ref LS.empty in
   List.iter
     (fun s ->
-      let t = neighbors compat n s in
+      let t = neighbors nbr n s in
       if not (Labelset.is_empty t) then begin
-        let s' = neighbors compat n t in
-        let pair =
-          if Labelset.compare s' t <= 0 then (s', t) else (t, s')
-        in
+        (* s is closed, so s = N(t) already. *)
+        let pair = if Labelset.compare s t <= 0 then (s, t) else (t, s) in
         pairs := LS.add pair !pairs
       end)
-    (Labelset.nonempty_subsets (Labelset.full n));
+    (closed_sets nbr n);
   let pairs = LS.elements !pairs in
   (* New alphabet: all sets occurring in maximal pairs. *)
   let module SS = Set.Make (struct
@@ -111,6 +193,7 @@ let r (p : Problem.t) =
       ~alpha:alpha' ~node:(Constr.make node_lines)
       ~edge:(Constr.make edge_lines)
   in
+  stats.r_time_s <- stats.r_time_s +. (Sys.time () -. t0);
   { problem; denotations = denots }
 
 (* --- R̄ ---------------------------------------------------------- *)
@@ -145,7 +228,10 @@ let valid_boxes (p : Problem.t) ~expand_limit =
   (* [partials] is the list of distinct minimal-choice multisets of the
      current prefix; all are sub-multisets of allowed configurations. *)
   let rec go depth lo (box : int list) partials =
-    if depth = delta then boxes := List.rev_map (fun i -> rc.(i)) box :: !boxes
+    if depth = delta then begin
+      stats.boxes_emitted <- stats.boxes_emitted + 1;
+      boxes := List.rev_map (fun i -> rc.(i)) box :: !boxes
+    end
     else
       for i = lo to Array.length rc - 1 do
         let extended = MsTbl.create 64 in
@@ -163,6 +249,7 @@ let valid_boxes (p : Problem.t) ~expand_limit =
           let partials' = MsTbl.fold (fun k () acc -> k :: acc) extended [] in
           go (depth + 1) i (i :: box) partials'
         end
+        else stats.boxes_pruned <- stats.boxes_pruned + 1
       done
   in
   go 0 0 [] [ Multiset.of_list [] ];
@@ -193,6 +280,8 @@ let maximal_boxes boxes =
     boxes
 
 let rbar ?(expand_limit = 2e6) (p : Problem.t) =
+  let t0 = Sys.time () in
+  stats.rbar_calls <- stats.rbar_calls + 1;
   if Alphabet.size p.alpha > 20 then
     failwith "Rounde.rbar: too many labels (right-closed-set enumeration infeasible)";
   let boxes = maximal_boxes (valid_boxes p ~expand_limit) in
@@ -251,6 +340,7 @@ let rbar ?(expand_limit = 2e6) (p : Problem.t) =
       ~alpha:alpha'' ~node:(Constr.make node_lines)
       ~edge:(Constr.make !edge_lines)
   in
+  stats.rbar_time_s <- stats.rbar_time_s +. (Sys.time () -. t0);
   { problem; denotations = denots }
 
 let step ?expand_limit p =

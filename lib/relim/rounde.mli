@@ -20,6 +20,31 @@ type denoted = {
           problem that new label [l] stands for. *)
 }
 
+(** Cumulative counters for the engine's hot paths, updated by every
+    [r] / [rbar] call since the last {!reset_stats}.  Times are CPU
+    seconds ([Sys.time]), which coincides with wall time for this
+    single-threaded code. *)
+type stats = {
+  mutable r_calls : int;
+  mutable closures_visited : int;
+      (** Galois-closed sets enumerated by [r] (vs 2^n subsets before). *)
+  mutable closure_joins : int;
+      (** Pairwise join closures computed during the enumeration. *)
+  mutable closure_revisits : int;
+      (** Joins that landed on an already-visited closed set. *)
+  mutable rbar_calls : int;
+  mutable boxes_emitted : int;  (** Valid boxes found by the [rbar] DFS. *)
+  mutable boxes_pruned : int;
+      (** DFS branches cut by the sub-multiset table. *)
+  mutable r_time_s : float;
+  mutable rbar_time_s : float;
+}
+
+(** The single global stats record (the engine is single-threaded). *)
+val stats : stats
+
+val reset_stats : unit -> unit
+
 (** [r p] computes Π' = R(Π): the edge constraint consists of all
     maximal pairs (A₁, A₂) of non-empty label sets whose members are
     pairwise compatible in ℰ_Π; the node constraint is obtained by

@@ -16,6 +16,20 @@ let test_mis_encoding () =
   check_int "arity" 4 (Relim.Problem.delta p);
   check_int "2 node lines" 2 (List.length (Relim.Constr.lines p.node))
 
+let test_degree_one_encodings () =
+  (* At delta = 1 the format strings used to emit zero-count groups
+     (e.g. "P O^0"), which the parser now rejects; the encodings must
+     omit them instead. *)
+  let mis1 = Lcl.Encodings.mis ~delta:1 in
+  check_int "MIS arity" 1 (Relim.Problem.delta mis1);
+  check_int "MIS labels" 3 (Relim.Problem.label_count mis1);
+  check_int "SO arity" 1
+    (Relim.Problem.delta (Lcl.Encodings.sinkless_orientation ~delta:1));
+  check_int "MM arity" 1
+    (Relim.Problem.delta (Lcl.Encodings.maximal_matching ~delta:1));
+  check_int "weak2col arity" 1
+    (Relim.Problem.delta (Lcl.Encodings.weak_2_coloring ~delta:1))
+
 let test_other_encodings () =
   check_int "SO labels" 2
     (Relim.Problem.label_count (Lcl.Encodings.sinkless_orientation ~delta:3));
@@ -153,6 +167,7 @@ let () =
         [
           Alcotest.test_case "mis" `Quick test_mis_encoding;
           Alcotest.test_case "others" `Quick test_other_encodings;
+          Alcotest.test_case "degree-one" `Quick test_degree_one_encodings;
           Alcotest.test_case "coloring-semantics" `Quick
             test_coloring_encoding_semantics;
         ] );

@@ -475,9 +475,17 @@ let engine_qcheck =
     QCheck.Test.make ~name:"r-labels-right-closed-wrt-edge-diagram" ~count:30
       params_gen (fun (delta, a, x) ->
         (* Observation 4 for R. *)
+        let group (name, c) =
+          if c = 0 then "" else Printf.sprintf " %s^%d" name c
+        in
+        let config groups = String.concat "" (List.map group groups) in
         let node =
-          Printf.sprintf "M^%d X^%d\nA^%d X^%d\nP O^%d" (delta - x) x a
-            (delta - a) (delta - 1)
+          String.concat "\n"
+            [
+              config [ ("M", delta - x); ("X", x) ];
+              config [ ("A", a); ("X", delta - a) ];
+              config [ ("P", 1); ("O", delta - 1) ];
+            ]
         in
         let edge = "M [PAOX]\nO [MAOX]\nP [MX]\nA [MOX]\nX [MPAOX]" in
         let p = Parse.problem ~name:"pi" ~node ~edge in
@@ -958,6 +966,288 @@ let invariant_qcheck =
               [ 0; 1; 2 ]);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Stricter parse/constructor grammar                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_rejects_zero_count () =
+  let fails f = match f () with exception Failure _ -> true | _ -> false in
+  check_bool "line ^0" true (fails (fun () -> Parse.line alpha5 "M P O^0"));
+  check_bool "bracket ^0" true (fails (fun () -> Parse.line alpha5 "[MP]^0 O"));
+  check_bool "problem ^0" true
+    (fails (fun () ->
+         Parse.problem ~name:"p" ~node:"M^1\nP O^0" ~edge:"M [PO]\nO O"));
+  (* The error message must name the offending construct. *)
+  (match Parse.line alpha5 "M O^0" with
+  | exception Failure msg ->
+      check_bool "message mentions ^0" true
+        (let needle = "^0" in
+         let len = String.length needle in
+         let rec scan i =
+           i + len <= String.length msg
+           && (String.sub msg i len = needle || scan (i + 1))
+         in
+         scan 0)
+  | _ -> Alcotest.fail "expected parse failure");
+  (* ^1 and omitted groups are still fine. *)
+  check_bool "^1 accepted" true
+    (Line.equal (Parse.line alpha5 "M^1 P") (Parse.line alpha5 "M P"))
+
+let test_parse_rejects_nested_bracket_syntax () =
+  let fails f = match f () with exception Failure _ -> true | _ -> false in
+  check_bool "caret inside brackets" true
+    (fails (fun () -> Parse.line alpha5 "[A^2] O O"));
+  check_bool "open bracket inside brackets" true
+    (fails (fun () -> Parse.line alpha5 "[[MP]O] X"));
+  check_bool "caret inside brackets (problem)" true
+    (fails (fun () ->
+         Parse.problem ~name:"p" ~node:"[M^2] O" ~edge:"M O\nO O"));
+  (* Space-separated multi-character names inside brackets still work. *)
+  let alpha = Alphabet.create [ "lo"; "hi" ] in
+  check_int "multi-char disjunction" 2
+    (Labelset.cardinal (Line.support (Parse.line alpha "[lo hi] lo")))
+
+let test_line_make_zero_count () =
+  let invalid f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check_bool "zero count raises" true
+    (invalid (fun () -> Line.make [ (Labelset.singleton 0, 0) ]));
+  check_bool "mixed zero count raises" true
+    (invalid (fun () ->
+         Line.make [ (Labelset.singleton 0, 2); (Labelset.singleton 1, 0) ]));
+  check_bool "negative count raises" true
+    (invalid (fun () -> Line.make [ (Labelset.singleton 0, -1) ]));
+  (* Merging equal sets is still allowed and sums the counts. *)
+  let l = Line.make [ (Labelset.singleton 0, 1); (Labelset.singleton 0, 2) ] in
+  check_int "merged arity" 3 (Line.arity l)
+
+(* ------------------------------------------------------------------ *)
+(* Fixedpoint step counter and memo cache                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixedpoint_counter_matches_steps () =
+  let so = Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I" in
+  Fixedpoint.clear_cache ();
+  Fixedpoint.reset_stats ();
+  (* The verdict's step index must equal the number of R̄∘R
+     applications the driver actually performed. *)
+  (match Fixedpoint.detect so with
+  | Fixedpoint.Reaches_fixed_point (i, _) ->
+      check_int "verdict index = applications" i
+        Fixedpoint.stats.Fixedpoint.steps_applied
+  | Fixedpoint.Fixed_point _ ->
+      check_int "fixed point after one application" 1
+        Fixedpoint.stats.Fixedpoint.steps_applied
+  | Fixedpoint.No_fixed_point_found _ -> Alcotest.fail "SO must stabilize");
+  let first_run = Fixedpoint.stats.Fixedpoint.steps_applied in
+  let misses = Fixedpoint.stats.Fixedpoint.cache_misses in
+  (* A second detection of the same problem replays entirely from the
+     memo: same number of applications, zero additional misses. *)
+  ignore (Fixedpoint.detect so);
+  check_int "second run applies the same count" (2 * first_run)
+    Fixedpoint.stats.Fixedpoint.steps_applied;
+  check_int "no new cache misses" misses
+    Fixedpoint.stats.Fixedpoint.cache_misses;
+  check_bool "cache hits recorded" true
+    (Fixedpoint.stats.Fixedpoint.cache_hits >= first_run);
+  Fixedpoint.clear_cache ()
+
+let test_fixedpoint_cache_isomorphic_input () =
+  (* The memo is keyed up to renaming: a renamed copy of a cached
+     problem must hit the cache. *)
+  let so = Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I" in
+  Fixedpoint.clear_cache ();
+  ignore (Fixedpoint.detect so);
+  Fixedpoint.reset_stats ();
+  let renamed = Iso.apply_renaming so [ ("O", "Z"); ("I", "J") ] in
+  ignore (Fixedpoint.detect renamed);
+  check_int "renamed input misses nothing" 0
+    Fixedpoint.stats.Fixedpoint.cache_misses;
+  check_bool "renamed input hits" true
+    (Fixedpoint.stats.Fixedpoint.cache_hits > 0);
+  Fixedpoint.clear_cache ()
+
+(* ------------------------------------------------------------------ *)
+(* R: closed-set enumeration vs the seed's subset enumeration          *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference implementation of the maximal-pair computation exactly as
+   the engine originally did it: enumerate all 2^n - 1 non-empty label
+   subsets S, collect the canonicalized closed pair (N(N(S)), N(S)).
+   The production path enumerates only Galois-closed sets; both must
+   produce identical pairs (and hence identical R output). *)
+let reference_maximal_pairs (p : Problem.t) =
+  let n = Problem.label_count p in
+  let compat = Array.make_matrix n n false in
+  List.iter
+    (fun line ->
+      Line.expand line (fun m ->
+          match Multiset.to_list m with
+          | [ a; b ] ->
+              compat.(a).(b) <- true;
+              compat.(b).(a) <- true
+          | _ -> assert false))
+    (Constr.lines p.Problem.edge);
+  let neighbors s =
+    let acc = ref Labelset.empty in
+    for b = 0 to n - 1 do
+      if Labelset.for_all (fun a -> compat.(a).(b)) s then
+        acc := Labelset.add b !acc
+    done;
+    !acc
+  in
+  let pairs = ref [] in
+  List.iter
+    (fun s ->
+      let t = neighbors s in
+      if not (Labelset.is_empty t) then begin
+        let s' = neighbors t in
+        let pair = if Labelset.compare s' t <= 0 then (s', t) else (t, s') in
+        if not (List.exists (fun (a, b) ->
+                    Labelset.equal a (fst pair) && Labelset.equal b (snd pair))
+                  !pairs)
+        then pairs := pair :: !pairs
+      end)
+    (Labelset.nonempty_subsets (Labelset.full n));
+  List.sort
+    (fun (a1, a2) (b1, b2) ->
+      match Labelset.compare a1 b1 with 0 -> Labelset.compare a2 b2 | c -> c)
+    !pairs
+
+let engine_maximal_pairs (p : Problem.t) =
+  let { Rounde.problem = p'; denotations } = Rounde.r p in
+  List.map
+    (fun line ->
+      match Line.to_multiset line with
+      | Some m -> (
+          match Multiset.to_list m with
+          | [ l1; l2 ] ->
+              let s1 = denotations.(l1) and s2 = denotations.(l2) in
+              if Labelset.compare s1 s2 <= 0 then (s1, s2) else (s2, s1)
+          | _ -> Alcotest.fail "R edge line of arity <> 2")
+      | None -> Alcotest.fail "non-concrete R edge line")
+    (Constr.lines p'.Problem.edge)
+  |> List.sort (fun (a1, a2) (b1, b2) ->
+         match Labelset.compare a1 b1 with
+         | 0 -> Labelset.compare a2 b2
+         | c -> c)
+
+let check_r_matches_reference p =
+  let expected = reference_maximal_pairs p in
+  let got = engine_maximal_pairs p in
+  check_int
+    (Printf.sprintf "pair count on %s" p.Problem.name)
+    (List.length expected) (List.length got);
+  List.iter2
+    (fun (e1, e2) (g1, g2) ->
+      check_bool
+        (Printf.sprintf "pair on %s" p.Problem.name)
+        true
+        (Labelset.equal e1 g1 && Labelset.equal e2 g2))
+    expected got
+
+let test_r_reference_mis () = check_r_matches_reference mis3
+
+let test_r_reference_family () =
+  List.iter
+    (fun (delta, a, x) ->
+      let group (name, c) =
+        if c = 0 then "" else Printf.sprintf " %s^%d" name c
+      in
+      let config groups = String.concat "" (List.map group groups) in
+      let node =
+        String.concat "\n"
+          [
+            config [ ("M", delta - x); ("X", x) ];
+            config [ ("A", a); ("X", delta - a) ];
+            config [ ("P", 1); ("O", delta - 1) ];
+          ]
+      in
+      let edge = "M [PAOX]\nO [MAOX]\nP [MX]\nA [MOX]\nX [MPAOX]" in
+      check_r_matches_reference (Parse.problem ~name:"pi" ~node ~edge))
+    [ (3, 2, 0); (4, 3, 1); (5, 4, 2); (6, 2, 0) ]
+
+let r_reference_qcheck =
+  let gen = QCheck.(pair (int_range 1 1023) (int_range 1 63)) in
+  [
+    QCheck.Test.make ~name:"closed-set-pairs-equal-subset-pairs" ~count:100 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p -> (
+            (* Degenerate problems can make R's node constraint empty;
+               the constructor then raises, exactly as it did under
+               subset enumeration — nothing to compare there. *)
+            match engine_maximal_pairs p with
+            | exception (Invalid_argument _ | Failure _) -> true
+            | got ->
+                let expected = reference_maximal_pairs p in
+                List.length expected = List.length got
+                && List.for_all2
+                     (fun (e1, e2) (g1, g2) ->
+                       Labelset.equal e1 g1 && Labelset.equal e2 g2)
+                     expected got));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer / parser round trips                                 *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_qcheck =
+  [
+    QCheck.Test.make ~name:"line-pp-parse-roundtrip" ~count:200
+      QCheck.(triple (int_range 1 31) (int_range 1 31) (int_range 1 4))
+      (fun (b1, b2, c) ->
+        (* Random condensed line over the 5-label alphabet. *)
+        let l =
+          Line.make [ (Labelset.of_bits b1, 1); (Labelset.of_bits b2, c) ]
+        in
+        Line.equal l (Parse.line alpha5 (Line.to_string alpha5 l)));
+    QCheck.Test.make ~name:"problem-serialize-parse-roundtrip" ~count:100
+      QCheck.(pair (int_range 1 1023) (int_range 1 63))
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            let p' = Serialize.of_string (Serialize.to_string p) in
+            Iso.equal_up_to_renaming (Problem.trim p) p');
+    QCheck.Test.make ~name:"stepped-problem-roundtrip" ~count:20
+      QCheck.(int_range 2 4)
+      (fun delta ->
+        (* Speedup outputs exercise multi-character set-labels. *)
+        let node =
+          String.concat "\n"
+            [ Printf.sprintf "M^%d" delta; "P O" ^ if delta > 2 then Printf.sprintf " O^%d" (delta - 2) else "" ]
+        in
+        let p = Parse.problem ~name:"mis" ~node ~edge:"M [PO]\nO O" in
+        let { Rounde.problem = stepped; _ } = Rounde.step p in
+        let p' = Serialize.of_string (Serialize.to_string stepped) in
+        Iso.equal_up_to_renaming (Problem.trim stepped) p');
+  ]
+
+(* Multiset insertion/removal against a sorted-list reference. *)
+let multiset_ref_qcheck =
+  let gen = QCheck.(pair (small_list (int_bound 6)) (int_bound 6)) in
+  [
+    QCheck.Test.make ~name:"add-matches-sorted-list" ~count:200 gen
+      (fun (ls, x) ->
+        Multiset.to_list (Multiset.add x (Multiset.of_list ls))
+        = List.sort compare (x :: ls));
+    QCheck.Test.make ~name:"remove-matches-sorted-list" ~count:200 gen
+      (fun (ls, x) ->
+        let m = Multiset.of_list ls in
+        let rec remove_first = function
+          | [] -> []
+          | y :: rest -> if y = x then rest else y :: remove_first rest
+        in
+        if List.mem x ls then
+          Multiset.to_list (Multiset.remove_one x m)
+          = List.sort compare (remove_first ls)
+        else
+          match Multiset.remove_one x m with
+          | exception Not_found -> true
+          | _ -> false);
+  ]
+
 let extra_suites =
   [
     ( "simplify",
@@ -976,7 +1266,28 @@ let extra_suites =
       [
         Alcotest.test_case "sinkless orientation" `Quick test_fixedpoint_so;
         Alcotest.test_case "trivial" `Quick test_fixedpoint_trivial;
+        Alcotest.test_case "counter = applications" `Quick
+          test_fixedpoint_counter_matches_steps;
+        Alcotest.test_case "cache up to renaming" `Quick
+          test_fixedpoint_cache_isomorphic_input;
       ] );
+    ( "parse-strict",
+      [
+        Alcotest.test_case "zero counts rejected" `Quick
+          test_parse_rejects_zero_count;
+        Alcotest.test_case "bracket syntax rejected" `Quick
+          test_parse_rejects_nested_bracket_syntax;
+        Alcotest.test_case "Line.make zero count" `Quick
+          test_line_make_zero_count;
+      ] );
+    ( "r-equivalence",
+      [
+        Alcotest.test_case "MIS (Delta=3)" `Quick test_r_reference_mis;
+        Alcotest.test_case "Pi family" `Quick test_r_reference_family;
+      ] );
+    qsuite "r-equivalence-props" r_reference_qcheck;
+    qsuite "roundtrip-props" roundtrip_qcheck;
+    qsuite "multiset-ref-props" multiset_ref_qcheck;
     ( "definitions",
       [
         Alcotest.test_case "R on MIS" `Quick test_r_definition_mis;

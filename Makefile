@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-smoke clean
 
 all: build
 
@@ -15,6 +15,15 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# Small pinned slice of the benchmark suite, suitable for CI: runs the
+# engine per-step statistics section (which exercises the lattice-native
+# R/Rbar pipeline end to end and rewrites BENCH_relim.json) and checks
+# that the hand-assembled JSON dump is well-formed.
+bench-smoke:
+	dune build bench
+	dune exec bench/main.exe -- relim_perf
+	dune exec bench/validate_json.exe BENCH_relim.json
 
 clean:
 	dune clean

@@ -815,7 +815,8 @@ let bechamel_suite () =
 
 (* One row per R̄∘R application: label counts, wall time, and the
    engine's internal counters (closed sets visited by R, join
-   candidates, boxes emitted/pruned by R̄). *)
+   candidates, right-closed sets enumerated, boxes emitted/pruned and
+   the dominance-filter breakdown on the R̄ side). *)
 type step_row = {
   step : int;
   labels_in : int;
@@ -823,11 +824,16 @@ type step_row = {
   wall_s : float;
   r_time_s : float;
   rbar_time_s : float;
+  maxbox_time_s : float;
   closures_visited : int;
   closure_joins : int;
   closure_revisits : int;
+  rc_sets : int;
   boxes_emitted : int;
   boxes_pruned : int;
+  box_dom_checks : int;
+  box_dom_cheap_skips : int;
+  box_transport_calls : int;
 }
 
 let measure_steps name p ~max_steps =
@@ -849,21 +855,29 @@ let measure_steps name p ~max_steps =
               wall_s;
               r_time_s = s.Relim.Rounde.r_time_s;
               rbar_time_s = s.Relim.Rounde.rbar_time_s;
+              maxbox_time_s = s.Relim.Rounde.maxbox_time_s;
               closures_visited = s.Relim.Rounde.closures_visited;
               closure_joins = s.Relim.Rounde.closure_joins;
               closure_revisits = s.Relim.Rounde.closure_revisits;
+              rc_sets = s.Relim.Rounde.rc_sets;
               boxes_emitted = s.Relim.Rounde.boxes_emitted;
               boxes_pruned = s.Relim.Rounde.boxes_pruned;
+              box_dom_checks = s.Relim.Rounde.box_dom_checks;
+              box_dom_cheap_skips = s.Relim.Rounde.box_dom_cheap_skips;
+              box_transport_calls = s.Relim.Rounde.box_transport_calls;
             }
           in
           rows := row :: !rows;
           result
             "  step %d: %2d -> %2d labels  %9.3f ms wall (R %.3f ms, Rbar %.3f \
-             ms)  %d closed sets (%d joins), %d boxes (+%d pruned)@."
+             ms, maxbox %.3f ms)  %d closed sets (%d joins), %d rc sets, %d \
+             boxes (+%d pruned), dominance %d pairs (%d cheap skips, %d \
+             transport)@."
             i row.labels_in row.labels_out (1e3 *. wall_s)
             (1e3 *. row.r_time_s) (1e3 *. row.rbar_time_s)
-            row.closures_visited row.closure_joins row.boxes_emitted
-            row.boxes_pruned;
+            (1e3 *. row.maxbox_time_s) row.closures_visited row.closure_joins
+            row.rc_sets row.boxes_emitted row.boxes_pruned row.box_dom_checks
+            row.box_dom_cheap_skips row.box_transport_calls;
           go (Relim.Simplify.normalize next) (i + 1)
       | exception Failure msg ->
           result "  step %d: stopped — %s@." i msg
@@ -891,6 +905,80 @@ let relim_perf () =
       ~max_steps:2
   in
   let problems = [ mis; so_rows; pi4; pi5 ] in
+  (* A 30-label problem far beyond the seed's hard caps (rbar refused
+     > 20 labels, right_closed_sets > 22): the node diagram is a chain,
+     so the order-ideal enumeration sees just 30 right-closed sets and
+     R̄ finishes in microseconds where the subset filter would have
+     visited 2^30 subsets. *)
+  let chain_n = 30 in
+  let chain =
+    let name i = Printf.sprintf "l%d" i in
+    let names = List.init chain_n name in
+    let all = String.concat " " names in
+    let node =
+      String.concat "\n"
+        (List.init chain_n (fun i ->
+             (* single-name brackets would be scanned as char labels *)
+             match List.filteri (fun j _ -> i + j >= chain_n - 1) names with
+             | [ only ] -> Printf.sprintf "%s %s" (name i) only
+             | partners ->
+                 Printf.sprintf "%s [%s]" (name i)
+                   (String.concat " " partners)))
+    in
+    Relim.Parse.problem
+      ~name:(Printf.sprintf "chain%d" chain_n)
+      ~node
+      ~edge:(Printf.sprintf "[%s] [%s]" all all)
+  in
+  Relim.Rounde.reset_stats ();
+  let t0 = Unix.gettimeofday () in
+  let { Relim.Rounde.problem = chain_out; _ } = Relim.Rounde.rbar chain in
+  let chain_wall_s = Unix.gettimeofday () -. t0 in
+  let cs = Relim.Rounde.stats in
+  let chain_boxes =
+    List.length (Relim.Constr.lines chain_out.Relim.Problem.node)
+  in
+  result
+    "@.Rbar beyond the seed caps: chain%d (%d labels)  %9.3f ms wall  %d rc \
+     sets, %d boxes emitted -> %d maximal, dominance %d pairs (%d cheap \
+     skips, %d transport)@."
+    chain_n chain_n (1e3 *. chain_wall_s) cs.Relim.Rounde.rc_sets
+    cs.Relim.Rounde.boxes_emitted chain_boxes cs.Relim.Rounde.box_dom_checks
+    cs.Relim.Rounde.box_dom_cheap_skips cs.Relim.Rounde.box_transport_calls;
+  let chain_stats =
+    ( cs.Relim.Rounde.rc_sets,
+      cs.Relim.Rounde.boxes_emitted,
+      chain_boxes,
+      cs.Relim.Rounde.box_dom_checks,
+      cs.Relim.Rounde.box_dom_cheap_skips,
+      cs.Relim.Rounde.box_transport_calls,
+      chain_wall_s,
+      cs.Relim.Rounde.maxbox_time_s )
+  in
+  (* 0-round decider: the Bron–Kerbosch clique enumeration replaced the
+     seed's 2^n subset sweep. *)
+  Relim.Zeroround.reset_stats ();
+  List.iter
+    (fun p -> ignore (Relim.Zeroround.solvable_arbitrary_ports p))
+    [
+      Lcl.Encodings.mis ~delta:3;
+      Lcl.Encodings.sinkless_orientation ~delta:3;
+      Core.Family.pi { Core.Family.delta = 5; a = 4; x = 2 };
+      chain;
+    ]
+  |> ignore;
+  let zs = Relim.Zeroround.stats in
+  result
+    "0-round decider (4 problems incl. chain%d): %d maximal cliques over %d \
+     BK expansions in %.3f ms@."
+    chain_n zs.Relim.Zeroround.maximal_cliques zs.Relim.Zeroround.bk_expansions
+    (1e3 *. zs.Relim.Zeroround.clique_time_s);
+  let zr_stats =
+    ( zs.Relim.Zeroround.clique_calls,
+      zs.Relim.Zeroround.maximal_cliques,
+      zs.Relim.Zeroround.bk_expansions,
+      zs.Relim.Zeroround.clique_time_s )
+  in
   (* Fixed-point driver memo cache: the second detection of the same
      problem replays entirely from the cache. *)
   let so = Lcl.Encodings.sinkless_orientation ~delta:3 in
@@ -900,21 +988,25 @@ let relim_perf () =
   let fp = Relim.Fixedpoint.stats in
   let first =
     (fp.Relim.Fixedpoint.steps_applied, fp.Relim.Fixedpoint.cache_hits,
-     fp.Relim.Fixedpoint.cache_misses, fp.Relim.Fixedpoint.step_time_s)
+     fp.Relim.Fixedpoint.cache_misses, fp.Relim.Fixedpoint.step_time_s,
+     fp.Relim.Fixedpoint.normalize_time_s)
   in
   ignore (Relim.Fixedpoint.detect so);
-  let steps1, hits1, misses1, time1 = first in
+  let steps1, hits1, misses1, time1, norm1 = first in
   let second =
     (fp.Relim.Fixedpoint.steps_applied - steps1,
      fp.Relim.Fixedpoint.cache_hits - hits1,
      fp.Relim.Fixedpoint.cache_misses - misses1,
-     fp.Relim.Fixedpoint.step_time_s -. time1)
+     fp.Relim.Fixedpoint.step_time_s -. time1,
+     fp.Relim.Fixedpoint.normalize_time_s -. norm1)
   in
-  let steps2, hits2, misses2, time2 = second in
+  let steps2, hits2, misses2, time2, norm2 = second in
   result
     "@.fixed-point memo on SO (Delta=3): first detect %d steps (%d hits, %d \
-     misses, %.3f ms); repeat %d steps (%d hits, %d misses, %.3f ms)@."
-    steps1 hits1 misses1 (1e3 *. time1) steps2 hits2 misses2 (1e3 *. time2);
+     misses, %.3f ms of which %.3f ms normalize); repeat %d steps (%d hits, \
+     %d misses, %.3f ms)@."
+    steps1 hits1 misses1 (1e3 *. time1) (1e3 *. norm1) steps2 hits2 misses2
+    (1e3 *. time2);
   Relim.Fixedpoint.clear_cache ();
   (* JSON dump. *)
   let buf = Buffer.create 4096 in
@@ -931,25 +1023,48 @@ let relim_perf () =
             (Printf.sprintf
                "      { \"step\": %d, \"labels_in\": %d, \"labels_out\": %d, \
                 \"wall_s\": %.6f, \"r_time_s\": %.6f, \"rbar_time_s\": %.6f, \
-                \"closures_visited\": %d, \"closure_joins\": %d, \
-                \"closure_revisits\": %d, \"boxes_emitted\": %d, \
-                \"boxes_pruned\": %d }"
+                \"maxbox_time_s\": %.6f, \"closures_visited\": %d, \
+                \"closure_joins\": %d, \"closure_revisits\": %d, \
+                \"rc_sets\": %d, \"boxes_emitted\": %d, \"boxes_pruned\": %d, \
+                \"box_dom_checks\": %d, \"box_dom_cheap_skips\": %d, \
+                \"box_transport_calls\": %d }"
                row.step row.labels_in row.labels_out row.wall_s row.r_time_s
-               row.rbar_time_s row.closures_visited row.closure_joins
-               row.closure_revisits row.boxes_emitted row.boxes_pruned))
+               row.rbar_time_s row.maxbox_time_s row.closures_visited
+               row.closure_joins row.closure_revisits row.rc_sets
+               row.boxes_emitted row.boxes_pruned row.box_dom_checks
+               row.box_dom_cheap_skips row.box_transport_calls))
         rows;
       Buffer.add_string buf "\n    ] }")
     problems;
   Buffer.add_string buf "\n  ],\n";
+  (let rc, emitted, maximal, dom, cheap, transport, wall, maxbox =
+     chain_stats
+   in
+   Buffer.add_string buf
+     (Printf.sprintf
+        "  \"chain_rbar\": { \"labels\": %d, \"rc_sets\": %d, \
+         \"boxes_emitted\": %d, \"maximal_boxes\": %d, \"box_dom_checks\": \
+         %d, \"box_dom_cheap_skips\": %d, \"box_transport_calls\": %d, \
+         \"wall_s\": %.6f, \"maxbox_time_s\": %.6f },\n"
+        chain_n rc emitted maximal dom cheap transport wall maxbox));
+  (let calls, cliques, expansions, time_s = zr_stats in
+   Buffer.add_string buf
+     (Printf.sprintf
+        "  \"zeroround_cliques\": { \"clique_calls\": %d, \
+         \"maximal_cliques\": %d, \"bk_expansions\": %d, \"clique_time_s\": \
+         %.6f },\n"
+        calls cliques expansions time_s));
   Buffer.add_string buf
     (Printf.sprintf
        "  \"fixedpoint_cache_so_delta3\": {\n\
        \    \"first\": { \"steps_applied\": %d, \"cache_hits\": %d, \
-        \"cache_misses\": %d, \"step_time_s\": %.6f },\n\
+        \"cache_misses\": %d, \"step_time_s\": %.6f, \"normalize_time_s\": \
+        %.6f },\n\
        \    \"second\": { \"steps_applied\": %d, \"cache_hits\": %d, \
-        \"cache_misses\": %d, \"step_time_s\": %.6f }\n\
+        \"cache_misses\": %d, \"step_time_s\": %.6f, \"normalize_time_s\": \
+        %.6f }\n\
        \  }\n}\n"
-       steps1 hits1 misses1 time1 steps2 hits2 misses2 time2);
+       steps1 hits1 misses1 time1 norm1 steps2 hits2 misses2 time2 norm2);
   let oc = open_out "BENCH_relim.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -1,0 +1,170 @@
+(* Dependency-free JSON well-formedness checker for the benchmark
+   dumps (the repo deliberately has no JSON library).  Used by `make
+   bench-smoke` to guarantee that BENCH_relim.json stays parseable:
+   the dump is assembled by hand with Printf, so a stray comma or an
+   unescaped string would otherwise only be caught downstream.
+
+   Exit code 0 iff every file given on the command line is a single
+   well-formed JSON value (RFC 8259 grammar; numbers are validated
+   syntactically, not range-checked). *)
+
+exception Bad of int * string
+
+let validate (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, found %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> true
+      | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal word =
+    String.iter (fun c -> expect c) word
+  in
+  let string_body () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let digits () =
+    let saw = ref false in
+    while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+      saw := true;
+      advance ()
+    done;
+    if not !saw then fail "expected digit"
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "bad number");
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> string_body ()
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let rec members () =
+            skip_ws ();
+            string_body ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or } in object"
+          in
+          members ()
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ] in array"
+          in
+          elements ()
+        end
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+    | None -> fail "empty input"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage after the JSON value"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let () =
+  let files =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as files) -> files
+    | _ ->
+        prerr_endline "usage: validate_json FILE.json ...";
+        exit 2
+  in
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match validate (read_file path) with
+      | () -> Printf.printf "%s: well-formed JSON\n" path
+      | exception Bad (pos, msg) ->
+          failed := true;
+          Printf.eprintf "%s: invalid JSON at byte %d: %s\n" path pos msg
+      | exception Sys_error e ->
+          failed := true;
+          Printf.eprintf "%s\n" e)
+    files;
+  if !failed then exit 1

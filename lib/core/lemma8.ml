@@ -122,10 +122,19 @@ let verify_symbolic ({ Family.delta; a; x } as params) =
   let alpha = claimed.alpha in
   let l name = R.Alphabet.find alpha name in
   let diagram = R.Diagram.node_diagram claimed in
-  let rc = R.Diagram.right_closed_sets diagram in
   let subset s names = R.Labelset.subset s (names_set alpha names) in
   let has s name = R.Labelset.mem (l name) s in
-  let forall_rc f = List.for_all f rc in
+  (* Stream the right-closed sets instead of materializing the list:
+     each certificate condition is a universal over them, with early
+     exit on the first counterexample. *)
+  let forall_rc f =
+    match
+      R.Diagram.iter_right_closed diagram (fun s ->
+          if not (f s) then raise Exit)
+    with
+    | () -> true
+    | exception Exit -> false
+  in
   let c1 = forall_rc (fun s -> has s "P" || subset s [ "M"; "U"; "B"; "Q" ]) in
   let c2 = forall_rc (fun s -> has s "U" || subset s [ "A"; "B"; "P"; "Q" ]) in
   let c3 = forall_rc (fun s -> has s "M" || not (has s "X")) in

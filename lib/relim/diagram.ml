@@ -119,12 +119,114 @@ let above d l =
 let is_right_closed d s =
   Labelset.for_all (fun l -> Labelset.subset (above d l) s) s
 
-let right_closed_sets d =
+(* Order-ideal enumeration of the right-closed sets.
+
+   A set is right-closed iff it is an up-set of the strength relation,
+   and the up-sets of a relation coincide with the up-sets of its
+   transitive closure — which matters because the condensed-level
+   approximation of [node_diagram] can produce a non-transitive [geq].
+   After closing, equivalence classes (mutually reachable labels) are
+   all-or-nothing in any up-set, so the up-sets are exactly the unions
+   of classes closed under "every strictly stronger class is also
+   included".  A DFS over the classes in topological
+   order (each class visited after every class above it) therefore
+   constructs each right-closed set exactly once and never builds
+   anything else: the cost is proportional to the number of sets
+   produced, not to 2^n, and the old 22-label cap is gone. *)
+
+type condensation = {
+  class_members : Labelset.t array;  (* labels of each class *)
+  class_above : Labelset.t array;
+      (* strictly-above classes, as a set of class indices (closure) *)
+  class_order : int array;  (* class indices, every class after its above *)
+}
+
+let condense d =
   let n = Alphabet.size d.alpha in
-  if n > 22 then
-    failwith "Diagram.right_closed_sets: too many labels";
-  let universe = Labelset.full n in
-  List.filter (is_right_closed d) (Labelset.nonempty_subsets universe)
+  (* Transitive closure of geq (reflexive by construction of both
+     diagram builders; harmless if not). *)
+  let reach = Array.init n (fun a -> Array.copy d.geq.(a)) in
+  for mid = 0 to n - 1 do
+    for a = 0 to n - 1 do
+      if reach.(a).(mid) then
+        for b = 0 to n - 1 do
+          if reach.(mid).(b) then reach.(a).(b) <- true
+        done
+    done
+  done;
+  let class_of = Array.make n (-1) in
+  let members = ref [] and k = ref 0 in
+  for a = 0 to n - 1 do
+    if class_of.(a) < 0 then begin
+      let c = !k in
+      incr k;
+      let m = ref (Labelset.singleton a) in
+      class_of.(a) <- c;
+      for b = a + 1 to n - 1 do
+        if class_of.(b) < 0 && reach.(a).(b) && reach.(b).(a) then begin
+          class_of.(b) <- c;
+          m := Labelset.add b !m
+        end
+      done;
+      members := !m :: !members
+    end
+  done;
+  let class_members = Array.of_list (List.rev !members) in
+  let class_above =
+    Array.mapi
+      (fun c m ->
+        let rep = Labelset.choose m in
+        let acc = ref Labelset.empty in
+        for a = 0 to n - 1 do
+          if class_of.(a) <> c && reach.(a).(rep) then
+            acc := Labelset.add class_of.(a) !acc
+        done;
+        !acc)
+      class_members
+  in
+  (* In the condensation DAG the closed above-sets strictly shrink along
+     edges, so sorting by |above| ascending is a topological order. *)
+  let class_order = Array.init !k Fun.id in
+  Array.sort
+    (fun c c' ->
+      compare (Labelset.cardinal class_above.(c)) (Labelset.cardinal class_above.(c')))
+    class_order;
+  { class_members; class_above; class_order }
+
+let iter_right_closed ?(limit = 5_000_000) d f =
+  let { class_members; class_above; class_order } = condense d in
+  let k = Array.length class_members in
+  let count = ref 0 in
+  (* Include/exclude DFS along the topological order; a class may be
+     included only when every class above it already is, so every leaf
+     with a non-empty union is a distinct right-closed set. *)
+  let rec go i included union =
+    if i = k then begin
+      if not (Labelset.is_empty union) then begin
+        incr count;
+        if !count > limit then
+          failwith
+            (Printf.sprintf
+               "Diagram.right_closed_sets: more than %d right-closed sets" limit);
+        f union
+      end
+    end
+    else begin
+      let c = class_order.(i) in
+      go (i + 1) included union;
+      if Labelset.subset class_above.(c) included then
+        go (i + 1) (Labelset.add c included)
+          (Labelset.union union class_members.(c))
+    end
+  in
+  go 0 Labelset.empty Labelset.empty
+
+let right_closed_sets ?limit d =
+  let acc = ref [] in
+  iter_right_closed ?limit d (fun s -> acc := s :: !acc);
+  (* Increasing bitset order, matching (bit-exactly) the order the old
+     [nonempty_subsets]-filter implementation produced. *)
+  List.sort Labelset.compare !acc
 
 let minimal_elements d s =
   Labelset.filter

@@ -40,8 +40,18 @@ val above : t -> label -> Labelset.t
 val is_right_closed : t -> Labelset.t -> bool
 
 (** All non-empty right-closed subsets of the alphabet, in increasing
-    bitset order. *)
-val right_closed_sets : t -> Labelset.t list
+    bitset order.  Enumerated as the order ideals of the class
+    condensation of the strength relation — only right-closed sets are
+    ever constructed, so the cost is proportional to the output, never
+    to 2^n, and there is no label cap.
+    @param limit hard budget on the number of sets (default 5·10⁶).
+    @raise Failure when the budget is exceeded. *)
+val right_closed_sets : ?limit:int -> t -> Labelset.t list
+
+(** Iterator form of {!right_closed_sets}: calls [f] on every non-empty
+    right-closed set without materializing the list, in unspecified
+    order.  Raise from [f] (e.g. [Exit]) to stop early. *)
+val iter_right_closed : ?limit:int -> t -> (Labelset.t -> unit) -> unit
 
 (** Minimal (weakest) elements of a set: members with no strictly
     weaker member in the set. *)

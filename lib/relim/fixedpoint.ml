@@ -8,15 +8,24 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable step_time_s : float;
+  mutable normalize_time_s : float;
 }
 
-let stats = { steps_applied = 0; cache_hits = 0; cache_misses = 0; step_time_s = 0. }
+let stats =
+  {
+    steps_applied = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    step_time_s = 0.;
+    normalize_time_s = 0.;
+  }
 
 let reset_stats () =
   stats.steps_applied <- 0;
   stats.cache_hits <- 0;
   stats.cache_misses <- 0;
-  stats.step_time_s <- 0.
+  stats.step_time_s <- 0.;
+  stats.normalize_time_s <- 0.
 
 (* Memo of normalized problem ↦ normalized speedup result, bucketed by
    the renaming-invariant hash; within a bucket candidates are compared
@@ -52,8 +61,11 @@ let step_normalized ?expand_limit p =
       stats.cache_misses <- stats.cache_misses + 1;
       let t0 = Sys.time () in
       let { Rounde.problem = next; _ } = Rounde.step ?expand_limit p in
+      let t1 = Sys.time () in
       let next = Simplify.normalize next in
-      stats.step_time_s <- stats.step_time_s +. (Sys.time () -. t0);
+      let t2 = Sys.time () in
+      stats.normalize_time_s <- stats.normalize_time_s +. (t2 -. t1);
+      stats.step_time_s <- stats.step_time_s +. (t2 -. t0);
       bucket := (p, next) :: !bucket;
       next
 

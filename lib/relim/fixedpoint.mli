@@ -40,13 +40,16 @@ val detect :
   ?max_steps:int -> ?expand_limit:float -> Problem.t -> verdict
 
 (** Counters for the memoized driver: logical step applications
-    (including cache hits), cache hits/misses, and CPU seconds spent
-    inside [Rounde.step]. *)
+    (including cache hits), cache hits/misses, and CPU seconds spent in
+    uncached steps.  [step_time_s] covers [Rounde.step] plus the
+    subsequent [Simplify.normalize]; [normalize_time_s] is the
+    normalization share of it. *)
 type stats = {
   mutable steps_applied : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable step_time_s : float;
+  mutable normalize_time_s : float;
 }
 
 val stats : stats

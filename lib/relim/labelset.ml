@@ -44,6 +44,8 @@ let cardinal s =
   let rec count acc s = if s = 0 then acc else count (acc + 1) (s land (s - 1)) in
   count 0 s
 
+let inter_cardinal a b = cardinal (a land b)
+
 let elements s =
   let rec go l acc = if l < 0 then acc else go (l - 1) (if mem l s then l :: acc else acc) in
   go (max_label - 1) []

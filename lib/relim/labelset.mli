@@ -51,6 +51,11 @@ val compare : t -> t -> int
 
 val cardinal : t -> int
 
+(** [inter_cardinal a b = cardinal (inter a b)], without the
+    intermediate set.  One AND plus a popcount loop — used on the hot
+    path of the Bron–Kerbosch pivot choice. *)
+val inter_cardinal : t -> t -> int
+
 (** Elements in increasing label order. *)
 val elements : t -> label list
 

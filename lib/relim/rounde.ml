@@ -6,10 +6,15 @@ type stats = {
   mutable closure_joins : int;
   mutable closure_revisits : int;
   mutable rbar_calls : int;
+  mutable rc_sets : int;
   mutable boxes_emitted : int;
   mutable boxes_pruned : int;
+  mutable box_dom_checks : int;
+  mutable box_dom_cheap_skips : int;
+  mutable box_transport_calls : int;
   mutable r_time_s : float;
   mutable rbar_time_s : float;
+  mutable maxbox_time_s : float;
 }
 
 let stats =
@@ -19,10 +24,15 @@ let stats =
     closure_joins = 0;
     closure_revisits = 0;
     rbar_calls = 0;
+    rc_sets = 0;
     boxes_emitted = 0;
     boxes_pruned = 0;
+    box_dom_checks = 0;
+    box_dom_cheap_skips = 0;
+    box_transport_calls = 0;
     r_time_s = 0.;
     rbar_time_s = 0.;
+    maxbox_time_s = 0.;
   }
 
 let reset_stats () =
@@ -31,10 +41,15 @@ let reset_stats () =
   stats.closure_joins <- 0;
   stats.closure_revisits <- 0;
   stats.rbar_calls <- 0;
+  stats.rc_sets <- 0;
   stats.boxes_emitted <- 0;
   stats.boxes_pruned <- 0;
+  stats.box_dom_checks <- 0;
+  stats.box_dom_cheap_skips <- 0;
+  stats.box_transport_calls <- 0;
   stats.r_time_s <- 0.;
-  stats.rbar_time_s <- 0.
+  stats.rbar_time_s <- 0.;
+  stats.maxbox_time_s <- 0.
 
 (* Compatibility matrix of the edge constraint (symmetric). *)
 let compat_matrix (p : Problem.t) =
@@ -187,6 +202,12 @@ let r (p : Problem.t) =
         else None)
       (Constr.lines p.node)
   in
+  (* Every node line can die (a group whose labels all lack compatible
+     partners is unrealizable); fail as loudly as [rbar] does instead
+     of letting [Constr.make] reject the empty list with a generic
+     [Invalid_argument]. *)
+  if node_lines = [] then
+    failwith "Rounde.r: empty node constraint (no node line survived)";
   let problem =
     Problem.make
       ~name:(Printf.sprintf "R(%s)" p.name)
@@ -211,18 +232,31 @@ end)
    configuration.  Enumerated by DFS over right-closed sets in
    non-decreasing order, pruning with the set of all sub-multisets of
    allowed configurations. *)
-let valid_boxes (p : Problem.t) ~expand_limit =
+(* DFS work budget: one unit per (prefix, candidate-set) pair examined,
+   plus one per partial multiset carried through it.  The old hard
+   20-label cap is gone, so genuinely exponential instances (naive
+   iteration on MIS quickly produces them) must be stopped by the work
+   actually performed, and stopped as fast as the cap used to. *)
+let box_work_limit = 5_000_000
+
+let valid_boxes (p : Problem.t) ~expand_limit ~rc_limit =
   let delta = Problem.delta p in
   if Constr.expansion_estimate p.node > expand_limit then
     failwith "Rounde.rbar: node constraint expansion too large";
+  (* Enumerate the right-closed sets before building the (much more
+     expensive) sub-multiset table: the enumeration is output-sensitive
+     and [rc_limit]-guarded, so hopeless instances die in milliseconds
+     instead of after seconds of table filling. *)
+  let diagram = Diagram.node_diagram p in
+  let rc = Array.of_list (Diagram.right_closed_sets ~limit:rc_limit diagram) in
+  stats.rc_sets <- stats.rc_sets + Array.length rc;
   let configs = Constr.expand ~limit:expand_limit p.node in
   (* Sub-multiset membership table for pruning. *)
   let subs = MsTbl.create 65536 in
   List.iter
     (fun m -> Multiset.sub_multisets m (fun sub -> MsTbl.replace subs sub ()))
     configs;
-  let diagram = Diagram.node_diagram p in
-  let rc = Array.of_list (Diagram.right_closed_sets diagram) in
+  let work = ref 0 in
   let minimals = Array.map (Diagram.minimal_elements diagram) rc in
   let boxes = ref [] in
   (* [partials] is the list of distinct minimal-choice multisets of the
@@ -236,6 +270,9 @@ let valid_boxes (p : Problem.t) ~expand_limit =
       for i = lo to Array.length rc - 1 do
         let extended = MsTbl.create 64 in
         let all_ok = ref true in
+        work := !work + 1 + List.length partials;
+        if !work > box_work_limit then
+          failwith "Rounde.rbar: box enumeration exceeded the work budget";
         List.iter
           (fun partial ->
             Labelset.iter
@@ -265,26 +302,87 @@ let box_leq a b =
     ~demand:(Array.map (fun _ -> 1) b)
     ~allowed:(fun i j -> Labelset.subset a.(i) b.(j))
 
-let box_equal a b =
-  List.equal Labelset.equal
-    (List.sort Labelset.compare a)
-    (List.sort Labelset.compare b)
+(* Precomputed dominance keys.  If [box_leq b b'] (every set of [b]
+   matched injectively into a superset in [b']) then necessarily:
+   support(b) ⊆ support(b'), the total cardinality of [b] is at most
+   that of [b'], and the ascending sorted cardinality vectors dominate
+   elementwise (the matching sends the i-th smallest set of [b] into a
+   set of [b'] of at least its size, for every prefix).  All three are
+   word-level/O(Δ) screens, applied before the exact transportation
+   matching; scanning candidates in decreasing total-cardinality order
+   additionally confines possible dominators to a prefix. *)
+type box_key = {
+  box : Labelset.t list;
+  sorted : Labelset.t list;  (* canonical form, for equality *)
+  sizes : int array;  (* set cardinalities, ascending *)
+  total : int;
+  support : Labelset.t;
+}
+
+let box_key box =
+  let sorted = List.sort Labelset.compare box in
+  let sizes = Array.of_list (List.sort compare (List.map Labelset.cardinal box)) in
+  {
+    box;
+    sorted;
+    sizes;
+    total = Array.fold_left ( + ) 0 sizes;
+    support = List.fold_left Labelset.union Labelset.empty box;
+  }
+
+let sizes_dominated a b =
+  (* Equal lengths: boxes of one constraint share the arity Δ. *)
+  let ok = ref true in
+  Array.iteri (fun i c -> if c > b.(i) then ok := false) a;
+  !ok
 
 let maximal_boxes boxes =
-  List.filter
-    (fun b ->
-      not
-        (List.exists
-           (fun b' -> (not (box_equal b b')) && box_leq b b')
-           boxes))
-    boxes
+  let t0 = Sys.time () in
+  let keyed = Array.of_list (List.map box_key boxes) in
+  let m = Array.length keyed in
+  (* Candidate dominators, in non-increasing total cardinality. *)
+  let order = Array.init m Fun.id in
+  Array.sort (fun i j -> compare keyed.(j).total keyed.(i).total) order;
+  let dominated i =
+    let bi = keyed.(i) in
+    let rec scan idx =
+      if idx >= m then false
+      else
+        let j = order.(idx) in
+        if keyed.(j).total < bi.total then false
+        else if j = i then scan (idx + 1)
+        else begin
+          stats.box_dom_checks <- stats.box_dom_checks + 1;
+          let bj = keyed.(j) in
+          if
+            (not (Labelset.subset bi.support bj.support))
+            || not (sizes_dominated bi.sizes bj.sizes)
+          then begin
+            stats.box_dom_cheap_skips <- stats.box_dom_cheap_skips + 1;
+            scan (idx + 1)
+          end
+          else if List.equal Labelset.equal bi.sorted bj.sorted then
+            scan (idx + 1)
+          else begin
+            stats.box_transport_calls <- stats.box_transport_calls + 1;
+            if box_leq bi.box bj.box then true else scan (idx + 1)
+          end
+        end
+    in
+    scan 0
+  in
+  let result = List.filteri (fun i _ -> not (dominated i)) boxes in
+  stats.maxbox_time_s <- stats.maxbox_time_s +. (Sys.time () -. t0);
+  result
 
-let rbar ?(expand_limit = 2e6) (p : Problem.t) =
+let rbar ?(expand_limit = 2e6) ?(rc_limit = 100_000) (p : Problem.t) =
   let t0 = Sys.time () in
   stats.rbar_calls <- stats.rbar_calls + 1;
-  if Alphabet.size p.alpha > 20 then
-    failwith "Rounde.rbar: too many labels (right-closed-set enumeration infeasible)";
-  let boxes = maximal_boxes (valid_boxes p ~expand_limit) in
+  (* No label cap: the order-ideal enumeration behind
+     [Diagram.right_closed_sets] is output-sensitive, and runaway
+     instances are stopped by [rc_limit], [expand_limit] and the DFS
+     work budget instead — all of which fail as fast as the old cap. *)
+  let boxes = maximal_boxes (valid_boxes p ~expand_limit ~rc_limit) in
   if boxes = [] then failwith "Rounde.rbar: empty node constraint";
   (* New alphabet: the distinct sets used in maximal boxes. *)
   let module SS = Set.Make (struct
@@ -343,9 +441,9 @@ let rbar ?(expand_limit = 2e6) (p : Problem.t) =
   stats.rbar_time_s <- stats.rbar_time_s +. (Sys.time () -. t0);
   { problem; denotations = denots }
 
-let step ?expand_limit p =
+let step ?expand_limit ?rc_limit p =
   let { problem = p'; _ } = r p in
-  let { problem = p''; denotations } = rbar ?expand_limit p' in
+  let { problem = p''; denotations } = rbar ?expand_limit ?rc_limit p' in
   (* No trim needed: every label of [rbar]'s output occurs in its node
      constraint by construction, so trimming would be a no-op and would
      desynchronize [denotations]. *)

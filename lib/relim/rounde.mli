@@ -33,11 +33,21 @@ type stats = {
   mutable closure_revisits : int;
       (** Joins that landed on an already-visited closed set. *)
   mutable rbar_calls : int;
+  mutable rc_sets : int;
+      (** Right-closed sets produced by the order-ideal enumeration. *)
   mutable boxes_emitted : int;  (** Valid boxes found by the [rbar] DFS. *)
   mutable boxes_pruned : int;
       (** DFS branches cut by the sub-multiset table. *)
+  mutable box_dom_checks : int;
+      (** Ordered box pairs examined by [maximal_boxes]. *)
+  mutable box_dom_cheap_skips : int;
+      (** Pairs rejected by the support/size screens alone. *)
+  mutable box_transport_calls : int;
+      (** Pairs that needed the exact transportation matching. *)
   mutable r_time_s : float;
   mutable rbar_time_s : float;
+  mutable maxbox_time_s : float;
+      (** Time inside the maximal-box filter (included in [rbar_time_s]). *)
 }
 
 (** The single global stats record (the engine is single-threaded). *)
@@ -49,7 +59,10 @@ val reset_stats : unit -> unit
     maximal pairs (A₁, A₂) of non-empty label sets whose members are
     pairwise compatible in ℰ_Π; the node constraint is obtained by
     replacing every label with the disjunction of the new labels
-    containing it. *)
+    containing it.
+    @raise Failure if every node line dies (some group's labels all
+    lack compatible partners), i.e. Π' would have an empty node
+    constraint. *)
 val r : Problem.t -> denoted
 
 (** [rbar p'] computes Π'' = R̄(Π'): the node constraint consists of
@@ -57,11 +70,18 @@ val r : Problem.t -> denoted
     of whose choices lie in 𝒩_Π'; the edge constraint contains every
     pair of used sets admitting a compatible choice.
 
+    There is no label cap: right-closed sets are enumerated
+    output-sensitively (see {!Diagram.right_closed_sets}).
+
     @param expand_limit guards the node-constraint expansion (default
     2e6 concrete configurations).
-    @raise Failure if the expansion exceeds the limit. *)
-val rbar : ?expand_limit:float -> Problem.t -> denoted
+    @param rc_limit guards the number of right-closed sets (default
+    10⁵); a fixed internal work budget additionally bounds the box
+    DFS, so genuinely exponential instances fail as fast as the old
+    hard 20-label cap did.
+    @raise Failure if any budget is exceeded. *)
+val rbar : ?expand_limit:float -> ?rc_limit:int -> Problem.t -> denoted
 
 (** [step p] is [rbar (r p)], trimmed, with a composed name.  The
     denotations relate labels of the result to labels of [r p]. *)
-val step : ?expand_limit:float -> Problem.t -> denoted
+val step : ?expand_limit:float -> ?rc_limit:int -> Problem.t -> denoted

@@ -43,28 +43,35 @@ let merge_equivalent ?expand_limit (p : Problem.t) =
       merge p ~from_:(Alphabet.name p.alpha b) ~into_:(Alphabet.name p.alpha a)
 
 let drop_redundant_lines (p : Problem.t) =
+  (* Keep exactly one representative per cover-equivalence class of the
+     cover-maximal lines.  [Line.covers] is a preorder; a line is
+     dropped iff a line we already decided to KEEP covers it, or some
+     line strictly covers it (in which case the strict-cover chain ends
+     at a maximal line whose class representative is kept).  Every
+     dropped line is therefore covered by a kept line, and the first
+     member of each maximal class always survives — the pruned
+     constraint can never be empty or weaker, even if a future cover
+     notion introduced genuine mutual-cover cycles.  (On today's
+     canonical [Line.t] such cycles are impossible — [covers] is
+     antisymmetric, see the `simplify-*` tests — so this keeps exactly
+     the maximal lines; the previous implementation re-checked covers
+     against a shifting mix of original and remaining lines and relied
+     on that antisymmetry implicitly.) *)
   let prune constr =
     let lines = Constr.lines constr in
-    let keep line =
-      not
-        (List.exists
-           (fun other ->
-             (not (Line.equal other line)) && Line.covers other line)
-           lines)
+    let strictly_covered line =
+      List.exists
+        (fun other -> Line.covers other line && not (Line.covers line other))
+        lines
     in
-    (* When two lines cover each other (identical denotations in
-       different condensed forms) keep the first. *)
     let rec go kept = function
       | [] -> List.rev kept
       | line :: rest ->
           if
-            keep line
-            || not
-                 (List.exists
-                    (fun other -> Line.covers other line)
-                    (kept @ rest))
-          then go (line :: kept) rest
-          else go kept rest
+            List.exists (fun k -> Line.covers k line) kept
+            || strictly_covered line
+          then go kept rest
+          else go (line :: kept) rest
     in
     Constr.make (go [] lines)
   in

@@ -1,3 +1,19 @@
+type stats = {
+  mutable clique_calls : int;
+  mutable maximal_cliques : int;
+  mutable bk_expansions : int;
+  mutable clique_time_s : float;
+}
+
+let stats =
+  { clique_calls = 0; maximal_cliques = 0; bk_expansions = 0; clique_time_s = 0. }
+
+let reset_stats () =
+  stats.clique_calls <- 0;
+  stats.maximal_cliques <- 0;
+  stats.bk_expansions <- 0;
+  stats.clique_time_s <- 0.
+
 let compat_matrix (p : Problem.t) =
   let n = Alphabet.size p.alpha in
   let compat = Array.make_matrix n n false in
@@ -38,28 +54,95 @@ let solvable_mirrored p =
   let pool = self_compatible p in
   List.find_map (fun line -> pick_from_pool line pool) (Constr.lines p.node)
 
-let solvable_arbitrary_ports p =
+(* Maximal cliques of the compatibility graph, restricted to the
+   self-compatible labels (a label incompatible with itself can never
+   appear in a usable pool: the adversary may connect two equal ports),
+   by bitset Bron–Kerbosch with pivoting.  [f] is called once per
+   maximal clique; raise from [f] (e.g. a [Found] exception) to stop
+   early.  [max_expansions] bounds the recursion-tree size: the number
+   of maximal cliques can be exponential (Moon–Moser), so unlike the
+   old silent 2^n subset sweep the enumeration fails loudly when the
+   instance really is infeasible. *)
+let iter_maximal_cliques ?(max_expansions = 1_000_000) compat n f =
+  let vertices = ref Labelset.empty in
+  for a = 0 to n - 1 do
+    if compat.(a).(a) then vertices := Labelset.add a !vertices
+  done;
+  let nbr =
+    Array.init n (fun a ->
+        let acc = ref Labelset.empty in
+        if compat.(a).(a) then
+          Labelset.iter
+            (fun b -> if b <> a && compat.(a).(b) then acc := Labelset.add b !acc)
+            !vertices;
+        !acc)
+  in
+  let expansions = ref 0 in
+  let rec bk r p x =
+    incr expansions;
+    stats.bk_expansions <- stats.bk_expansions + 1;
+    if !expansions > max_expansions then
+      failwith
+        (Printf.sprintf
+           "Zeroround: maximal-clique enumeration exceeded %d expansions"
+           max_expansions);
+    if Labelset.is_empty p && Labelset.is_empty x then begin
+      if not (Labelset.is_empty r) then begin
+        stats.maximal_cliques <- stats.maximal_cliques + 1;
+        f r
+      end
+    end
+    else begin
+      (* Pivot on a vertex of P ∪ X with the most neighbors in P; only
+         non-neighbors of the pivot start branches. *)
+      let pivot = ref (-1) and best = ref (-1) in
+      Labelset.iter
+        (fun u ->
+          let c = Labelset.inter_cardinal p nbr.(u) in
+          if c > !best then begin
+            best := c;
+            pivot := u
+          end)
+        (Labelset.union p x);
+      let p = ref p and x = ref x in
+      Labelset.iter
+        (fun v ->
+          bk (Labelset.add v r) (Labelset.inter !p nbr.(v))
+            (Labelset.inter !x nbr.(v));
+          p := Labelset.remove v !p;
+          x := Labelset.add v !x)
+        (Labelset.diff !p nbr.(!pivot))
+    end
+  in
+  bk Labelset.empty !vertices Labelset.empty
+
+exception Found of Multiset.t
+
+let solvable_arbitrary_ports ?max_expansions p =
+  let t0 = Sys.time () in
+  stats.clique_calls <- stats.clique_calls + 1;
   let compat = compat_matrix p in
   let n = Alphabet.size p.alpha in
-  let is_clique s =
-    Labelset.for_all (fun a -> Labelset.for_all (fun b -> compat.(a).(b)) s) s
-  in
-  let cliques =
-    List.filter is_clique (Labelset.nonempty_subsets (Labelset.full n))
-  in
   let lines = Constr.lines p.node in
-  List.find_map
-    (fun clique ->
-      List.find_map
-        (fun line ->
-          (* Every slot must draw from the clique. *)
-          match pick_from_pool line clique with
-          | Some witness
-            when Labelset.subset (Multiset.support witness) clique ->
-              Some witness
-          | Some _ | None -> None)
-        lines)
-    cliques
+  (* A pool works iff every group of some node line meets it, and that
+     predicate is monotone in the pool; since every clique extends to a
+     maximal one, scanning maximal cliques only is complete.  The
+     witness drawn by [pick_from_pool] is supported inside
+     [line-sets ∩ clique], so no membership re-check is needed. *)
+  let result =
+    match
+      iter_maximal_cliques ?max_expansions compat n (fun clique ->
+          match
+            List.find_map (fun line -> pick_from_pool line clique) lines
+          with
+          | Some witness -> raise (Found witness)
+          | None -> ())
+    with
+    | () -> None
+    | exception Found witness -> Some witness
+  in
+  stats.clique_time_s <- stats.clique_time_s +. (Sys.time () -. t0);
+  result
 
 let randomized_failure_bound ?(limit = 2e6) p =
   match solvable_mirrored p with

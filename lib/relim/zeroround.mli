@@ -23,8 +23,24 @@ val solvable_mirrored : Problem.t -> Multiset.t option
 
 (** [solvable_arbitrary_ports p] returns a witness configuration whose
     support is a self-compatible clique in the edge-compatibility
-    graph, or [None]. *)
-val solvable_arbitrary_ports : Problem.t -> Multiset.t option
+    graph, or [None].  The search enumerates only the {e maximal}
+    cliques (Bron–Kerbosch with pivoting over bitsets) — a pool works
+    iff every group of some node line meets it, which is monotone in
+    the pool, so maximal cliques are exhaustive.  The old
+    implementation swept all 2^n label subsets with no guard.
+    @param max_expansions bound on the Bron–Kerbosch recursion-tree
+    size (default 10⁶); the number of maximal cliques can be
+    exponential in pathological graphs.
+    @raise Failure when the bound is exceeded. *)
+val solvable_arbitrary_ports : ?max_expansions:int -> Problem.t -> Multiset.t option
+
+(** [iter_maximal_cliques compat n f] calls [f] on every maximal clique
+    of the compatibility graph on labels [0 .. n-1], restricted to
+    self-compatible labels.  Exposed for the equivalence tests and the
+    benchmark harness.  Raise from [f] to stop early.
+    @raise Failure when [max_expansions] (default 10⁶) is exceeded. *)
+val iter_maximal_cliques :
+  ?max_expansions:int -> bool array array -> int -> (Labelset.t -> unit) -> unit
 
 (** Lemma 15 generalized: when [solvable_mirrored p = None], every
     allowed configuration contains a label that is not self-compatible,
@@ -39,3 +55,17 @@ val randomized_failure_bound : ?limit:float -> Problem.t -> float option
 
 (** Labels compatible with themselves under the edge constraint. *)
 val self_compatible : Problem.t -> Labelset.t
+
+(** Counters for the clique-based 0-round decider: calls to
+    {!solvable_arbitrary_ports}, maximal cliques emitted, Bron–Kerbosch
+    recursion-tree nodes, and CPU seconds spent deciding. *)
+type stats = {
+  mutable clique_calls : int;
+  mutable maximal_cliques : int;
+  mutable bk_expansions : int;
+  mutable clique_time_s : float;
+}
+
+val stats : stats
+
+val reset_stats : unit -> unit

@@ -55,6 +55,9 @@ let labelset_qcheck =
         Labelset.is_empty (Labelset.inter (Labelset.diff a b) b));
     QCheck.Test.make ~name:"cardinal-elements" ~count:200 gen_set (fun s ->
         List.length (Labelset.elements s) = Labelset.cardinal s);
+    QCheck.Test.make ~name:"inter-cardinal" ~count:200
+      (QCheck.pair gen_set gen_set) (fun (a, b) ->
+        Labelset.inter_cardinal a b = Labelset.cardinal (Labelset.inter a b));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -333,14 +336,44 @@ let test_rbar_maximality () =
     boxes
 
 let test_rbar_guard () =
+  (* 21 pairwise-unrelated labels: the node diagram is an antichain, so
+     there are 2^21 - 1 right-closed sets and the rc budget must trip.
+     (The seed refused anything over 20 labels outright; the budget now
+     depends on the actual diagram, not on the label count — see the
+     24-label chain test below, which succeeds.) *)
   let big =
     Parse.problem ~name:"big"
       ~node:"A B C D E F G H I J K L M N O P Q R S T U"
       ~edge:"[ABCDEFGHIJKLMNOPQRSTU] [ABCDEFGHIJKLMNOPQRSTU]"
   in
   match Rounde.rbar big with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected label-budget failure"
+  | exception Failure msg ->
+      let has needle =
+        let len = String.length needle in
+        let rec scan i =
+          i + len <= String.length msg
+          && (String.sub msg i len = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      check_bool "budget message" true (has "right-closed")
+  | _ -> Alcotest.fail "expected right-closed-set budget failure"
+
+let test_r_empty_node () =
+  (* Label Y appears on no edge line, so the only node line dies during
+     R; the engine must say so instead of building a problem with an
+     empty node constraint. *)
+  let dead = Parse.problem ~name:"dead" ~node:"Y A A" ~edge:"A A" in
+  match Rounde.r dead with
+  | exception Failure msg ->
+      let needle = "empty node constraint" in
+      let len = String.length needle in
+      let rec scan i =
+        i + len <= String.length msg
+        && (String.sub msg i len = needle || scan (i + 1))
+      in
+      check_bool "names the empty node constraint" true (scan 0)
+  | _ -> Alcotest.fail "expected an empty-node-constraint failure"
 
 let test_step_speedup_on_coloring () =
   (* 3-coloring on a path (Delta = 2): a classic log*-round problem;
@@ -546,7 +579,8 @@ let main_suites =
           Alcotest.test_case "Observation 4" `Quick
             test_rbar_labels_right_closed;
           Alcotest.test_case "antichain" `Quick test_rbar_maximality;
-          Alcotest.test_case "label-budget guard" `Quick test_rbar_guard;
+          Alcotest.test_case "rc-budget guard" `Quick test_rbar_guard;
+          Alcotest.test_case "empty node constraint" `Quick test_r_empty_node;
           Alcotest.test_case "coloring step" `Quick test_step_speedup_on_coloring;
         ] );
       ( "relax",
@@ -1189,6 +1223,529 @@ let r_reference_qcheck =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Order-ideal right-closed-set enumeration vs the subset filter       *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference implementation exactly as the seed computed it: filter the
+   2^n - 1 non-empty label subsets.  The production path enumerates the
+   order ideals of the diagram's class condensation and must return the
+   same list (both are sorted in increasing bitset order). *)
+let reference_right_closed d n =
+  List.filter (Diagram.is_right_closed d)
+    (Labelset.nonempty_subsets (Labelset.full n))
+
+let check_rc_matches_reference ~what d n =
+  let expected = reference_right_closed d n in
+  let got = Diagram.right_closed_sets d in
+  check_int (what ^ ": count") (List.length expected) (List.length got);
+  check_bool (what ^ ": sets") true (List.equal Labelset.equal expected got)
+
+let family_problem (delta, a, x) =
+  let group (name, c) = if c = 0 then "" else Printf.sprintf " %s^%d" name c in
+  let config groups = String.concat "" (List.map group groups) in
+  let node =
+    String.concat "\n"
+      [
+        config [ ("M", delta - x); ("X", x) ];
+        config [ ("A", a); ("X", delta - a) ];
+        config [ ("P", 1); ("O", delta - 1) ];
+      ]
+  in
+  Parse.problem ~name:"pi" ~node
+    ~edge:"M [PAOX]\nO [MAOX]\nP [MX]\nA [MOX]\nX [MPAOX]"
+
+let test_rc_reference_mis () =
+  check_rc_matches_reference ~what:"edge diagram"
+    (Diagram.edge_diagram mis3)
+    (Problem.label_count mis3);
+  let { Rounde.problem = p'; _ } = Rounde.r mis3 in
+  check_rc_matches_reference ~what:"node diagram of R(MIS)"
+    (Diagram.node_diagram p')
+    (Problem.label_count p')
+
+let test_rc_reference_family () =
+  List.iter
+    (fun params ->
+      let p = family_problem params in
+      check_rc_matches_reference ~what:"family edge" (Diagram.edge_diagram p)
+        (Problem.label_count p);
+      check_rc_matches_reference ~what:"family node" (Diagram.node_diagram p)
+        (Problem.label_count p))
+    [ (3, 2, 0); (4, 3, 1); (5, 4, 2); (6, 2, 0) ]
+
+(* Δ = 2 problem whose node diagram is the chain l0 < l1 < … < l(n-1):
+   the pair (i, j) is allowed iff i + j >= n - 1, so substituting a
+   larger label preserves membership and the minimal partner n - 1 - j
+   certifies strictness.  The chain has exactly n right-closed sets
+   (the suffixes), so the order-ideal enumeration stays linear where
+   the subset filter — and the seed's hard 20/22-label caps — blew
+   up. *)
+let chain_problem n =
+  let name i = Printf.sprintf "l%d" i in
+  let names = List.init n name in
+  let all = String.concat " " names in
+  let node =
+    String.concat "\n"
+      (List.init n (fun i ->
+           (* A one-name bracket like "[l5]" would be scanned as the
+              character labels "l" and "5" (round-eliminator
+              convention: brackets without spaces are char lists), so
+              emit singleton groups bare. *)
+           match List.filteri (fun j _ -> i + j >= n - 1) names with
+           | [ only ] -> Printf.sprintf "%s %s" (name i) only
+           | partners ->
+               Printf.sprintf "%s [%s]" (name i) (String.concat " " partners)))
+  in
+  Parse.problem
+    ~name:(Printf.sprintf "chain%d" n)
+    ~node
+    ~edge:(Printf.sprintf "[%s] [%s]" all all)
+
+let test_rc_reference_chain () =
+  let n = 12 in
+  let p = chain_problem n in
+  let d = Diagram.node_diagram p in
+  check_rc_matches_reference ~what:"chain node diagram" d n;
+  (* ... and those sets are exactly the n suffixes. *)
+  let l i = Alphabet.find p.Problem.alpha (Printf.sprintf "l%d" i) in
+  let suffix m = Labelset.of_list (List.init (n - m) (fun k -> l (m + k))) in
+  let expected = List.sort Labelset.compare (List.init n suffix) in
+  let got = List.sort Labelset.compare (Diagram.right_closed_sets d) in
+  check_bool "suffixes" true (List.equal Labelset.equal expected got)
+
+let test_rc_limit_guard () =
+  let d = Diagram.edge_diagram mis3 in
+  (* MIS has exactly 5 right-closed sets. *)
+  (match Diagram.right_closed_sets ~limit:4 d with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected rc-budget failure");
+  check_int "exactly at the budget" 5
+    (List.length (Diagram.right_closed_sets ~limit:5 d));
+  (match Diagram.iter_right_closed ~limit:2 d (fun _ -> ()) with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected iterator budget failure");
+  (* The iterator supports early exit by raising from the callback. *)
+  let seen = ref 0 in
+  (match
+     Diagram.iter_right_closed d (fun _ ->
+         incr seen;
+         if !seen = 3 then raise Exit)
+   with
+  | exception Exit -> ()
+  | () -> Alcotest.fail "expected early exit");
+  check_int "stopped early" 3 !seen
+
+let rc_reference_qcheck =
+  let gen = QCheck.(pair (int_range 1 1023) (int_range 1 63)) in
+  [
+    QCheck.Test.make ~name:"order-ideals-equal-subset-filter" ~count:100 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            let n = Problem.label_count p in
+            let check_d d =
+              List.equal Labelset.equal
+                (reference_right_closed d n)
+                (Diagram.right_closed_sets d)
+            in
+            check_d (Diagram.edge_diagram p)
+            && check_d (Diagram.node_diagram p));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bron–Kerbosch maximal cliques vs the subset filter                  *)
+(* ------------------------------------------------------------------ *)
+
+let compat_of (p : Problem.t) =
+  let n = Problem.label_count p in
+  let compat = Array.make_matrix n n false in
+  List.iter
+    (fun line ->
+      Line.expand line (fun m ->
+          match Multiset.to_list m with
+          | [ a; b ] ->
+              compat.(a).(b) <- true;
+              compat.(b).(a) <- true
+          | _ -> assert false))
+    (Constr.lines p.Problem.edge);
+  (compat, n)
+
+(* Reference: filter the 2^n subsets for self-compatible cliques and
+   keep the ⊆-maximal ones — the seed's semantics without its silent
+   exponential sweep. *)
+let reference_maximal_cliques compat n =
+  let self = ref Labelset.empty in
+  for v = 0 to n - 1 do
+    if compat.(v).(v) then self := Labelset.add v !self
+  done;
+  let clique s =
+    Labelset.subset s !self
+    && Labelset.for_all
+         (fun a -> Labelset.for_all (fun b -> compat.(a).(b)) s)
+         s
+  in
+  let cliques =
+    List.filter clique (Labelset.nonempty_subsets (Labelset.full n))
+  in
+  List.filter
+    (fun c -> not (List.exists (fun c' -> Labelset.strict_subset c c') cliques))
+    cliques
+  |> List.sort Labelset.compare
+
+let engine_maximal_cliques ?max_expansions compat n =
+  let acc = ref [] in
+  Zeroround.iter_maximal_cliques ?max_expansions compat n (fun c ->
+      acc := c :: !acc);
+  List.sort Labelset.compare !acc
+
+let check_cliques_match (p : Problem.t) =
+  let compat, n = compat_of p in
+  let expected = reference_maximal_cliques compat n in
+  let got = engine_maximal_cliques compat n in
+  check_int (p.Problem.name ^ ": clique count") (List.length expected)
+    (List.length got);
+  check_bool (p.Problem.name ^ ": cliques") true
+    (List.equal Labelset.equal expected got)
+
+let test_cliques_mis () = check_cliques_match mis3
+
+let test_cliques_family () =
+  List.iter
+    (fun params -> check_cliques_match (family_problem params))
+    [ (3, 2, 0); (4, 3, 1); (5, 4, 2) ]
+
+let test_cliques_edge_cases () =
+  (* No self-compatible label at all: no cliques on either side. *)
+  check_cliques_match (Parse.problem ~name:"halves" ~node:"L R" ~edge:"L R");
+  (* Complete graph: a single maximal clique. *)
+  let k4 = Parse.problem ~name:"k4" ~node:"A B C D" ~edge:"[ABCD] [ABCD]" in
+  check_cliques_match k4;
+  let compat, n = compat_of k4 in
+  check_int "one clique" 1 (List.length (engine_maximal_cliques compat n))
+
+let test_clique_guard () =
+  let compat, n = compat_of mis3 in
+  match Zeroround.iter_maximal_cliques ~max_expansions:0 compat n (fun _ -> ())
+  with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected expansion-budget failure"
+
+let test_zeroround_stats () =
+  Zeroround.reset_stats ();
+  check_bool "mis not solvable" true
+    (Zeroround.solvable_arbitrary_ports mis3 = None);
+  check_int "one call" 1 Zeroround.stats.Zeroround.clique_calls;
+  check_bool "cliques counted" true
+    (Zeroround.stats.Zeroround.maximal_cliques >= 1);
+  check_bool "expansions counted" true
+    (Zeroround.stats.Zeroround.bk_expansions >= 1);
+  check_bool "time accumulated" true
+    (Zeroround.stats.Zeroround.clique_time_s >= 0.)
+
+let clique_reference_qcheck =
+  let gen = QCheck.(pair (int_range 1 1023) (int_range 1 63)) in
+  [
+    QCheck.Test.make ~name:"bron-kerbosch-equals-subset-filter" ~count:200 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            let compat, n = compat_of p in
+            List.equal Labelset.equal
+              (reference_maximal_cliques compat n)
+              (engine_maximal_cliques compat n));
+    QCheck.Test.make ~name:"arbitrary-ports-equals-bruteforce" ~count:200 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p -> (
+            let compat, _ = compat_of p in
+            let pool_ok m =
+              let ls = Multiset.to_list m in
+              List.for_all
+                (fun a -> List.for_all (fun b -> compat.(a).(b)) ls)
+                ls
+            in
+            let brute =
+              List.exists pool_ok (Constr.expand p.Problem.node)
+            in
+            match Zeroround.solvable_arbitrary_ports p with
+            | None -> not brute
+            | Some w -> brute && Constr.mem p.Problem.node w && pool_ok w));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rbar old-vs-new equivalence                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent reimplementation of R̄ following the seed: right-closed
+   sets by subset filter, candidate boxes by a brute multiset sweep,
+   maximality by pairwise transport domination, edge pairs by choice
+   search.  Returns (boxes, edge pairs) in a normalized order. *)
+let reference_rbar (p' : Problem.t) =
+  let n = Problem.label_count p' in
+  let delta = Constr.arity p'.Problem.node in
+  let d = Diagram.node_diagram p' in
+  let rc = reference_right_closed d n in
+  let valid = ref [] in
+  Util.multisets rc delta (fun sets ->
+      let ok =
+        let rec go acc = function
+          | [] -> Constr.mem p'.Problem.node (Multiset.of_list acc)
+          | s :: rest -> Labelset.for_all (fun l -> go (l :: acc) rest) s
+        in
+        go [] sets
+      in
+      if ok then valid := sets :: !valid);
+  let dominates a b =
+    let a = Array.of_list a and b = Array.of_list b in
+    Util.transport_feasible
+      ~supply:(Array.map (fun _ -> 1) b)
+      ~demand:(Array.map (fun _ -> 1) a)
+      ~allowed:(fun i j -> Labelset.subset b.(i) a.(j))
+  in
+  let maximal =
+    List.filter
+      (fun b -> not (List.exists (fun a -> a != b && dominates a b) !valid))
+      !valid
+  in
+  let norm_box b = List.sort Labelset.compare b in
+  let boxes =
+    List.sort (List.compare Labelset.compare) (List.map norm_box maximal)
+  in
+  let compat, _ = compat_of p' in
+  let used = List.sort_uniq Labelset.compare (List.concat boxes) in
+  let pair_ok s t =
+    Labelset.exists (fun a -> Labelset.exists (fun b -> compat.(a).(b)) t) s
+  in
+  let pairs = ref [] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun t ->
+          if Labelset.compare s t <= 0 && pair_ok s t then
+            pairs := (s, t) :: !pairs)
+        used)
+    used;
+  let cmp (a1, a2) (b1, b2) =
+    match Labelset.compare a1 b1 with 0 -> Labelset.compare a2 b2 | c -> c
+  in
+  (boxes, List.sort cmp !pairs)
+
+let engine_rbar (p' : Problem.t) =
+  let { Rounde.problem = p''; denotations } = Rounde.rbar p' in
+  let boxes =
+    List.map
+      (fun line ->
+        match Line.to_multiset line with
+        | Some m ->
+            List.sort Labelset.compare
+              (List.map (fun l -> denotations.(l)) (Multiset.to_list m))
+        | None -> failwith "non-concrete rbar node line")
+      (Constr.lines p''.Problem.node)
+    |> List.sort (List.compare Labelset.compare)
+  in
+  let cmp (a1, a2) (b1, b2) =
+    match Labelset.compare a1 b1 with 0 -> Labelset.compare a2 b2 | c -> c
+  in
+  let pairs =
+    List.map
+      (fun m ->
+        match Multiset.to_list m with
+        | [ a; b ] ->
+            let s = denotations.(a) and t = denotations.(b) in
+            if Labelset.compare s t <= 0 then (s, t) else (t, s)
+        | _ -> failwith "rbar edge line of arity <> 2")
+      (Constr.expand p''.Problem.edge)
+    |> List.sort_uniq cmp
+  in
+  (boxes, pairs)
+
+let check_rbar_matches_reference (p : Problem.t) =
+  let { Rounde.problem = p'; _ } = Rounde.r p in
+  let exp_boxes, exp_pairs = reference_rbar p' in
+  let got_boxes, got_pairs = engine_rbar p' in
+  check_int
+    (p.Problem.name ^ ": box count")
+    (List.length exp_boxes) (List.length got_boxes);
+  check_bool (p.Problem.name ^ ": boxes") true
+    (List.equal (List.equal Labelset.equal) exp_boxes got_boxes);
+  check_int
+    (p.Problem.name ^ ": edge pair count")
+    (List.length exp_pairs) (List.length got_pairs);
+  check_bool (p.Problem.name ^ ": edge pairs") true
+    (List.equal
+       (fun (a1, a2) (b1, b2) ->
+         Labelset.equal a1 b1 && Labelset.equal a2 b2)
+       exp_pairs got_pairs)
+
+let test_rbar_reference_mis () = check_rbar_matches_reference mis3
+
+let test_rbar_reference_so () =
+  check_rbar_matches_reference
+    (Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I")
+
+let test_rbar_reference_coloring () =
+  check_rbar_matches_reference
+    (Parse.problem ~name:"3col" ~node:"A A\nB B\nC C" ~edge:"A [BC]\nB C")
+
+let rbar_reference_qcheck =
+  let gen = QCheck.(pair (int_range 1 1023) (int_range 1 63)) in
+  [
+    QCheck.Test.make ~name:"rbar-equals-seed-reference" ~count:30 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p -> (
+            match Rounde.r p with
+            | exception Failure _ -> true
+            | { Rounde.problem = p'; _ } ->
+                (* The brute-force reference is exponential in the label
+                   count of R(Π); stay where it is cheap. *)
+                if Problem.label_count p' > 5 then true
+                else
+                  let exp_boxes, exp_pairs = reference_rbar p' in
+                  (match engine_rbar p' with
+                  | exception Failure _ ->
+                      (* The engine refuses degenerate outputs (empty
+                         node or edge constraint); the reference must
+                         agree the output really is degenerate. *)
+                      exp_boxes = [] || exp_pairs = []
+                  | got_boxes, got_pairs ->
+                      List.equal (List.equal Labelset.equal) exp_boxes
+                        got_boxes
+                      && List.equal
+                           (fun (a1, a2) (b1, b2) ->
+                             Labelset.equal a1 b1 && Labelset.equal a2 b2)
+                           exp_pairs got_pairs)));
+  ]
+
+let test_rbar_beyond_old_cap () =
+  (* 24 labels: the seed's rbar refused anything over 20 labels and its
+     right_closed_sets anything over 22.  The chain's node diagram has
+     only 24 right-closed sets (the suffixes), so the lattice-native
+     pipeline handles it instantly; the maximal boxes are exactly the
+     12 antidiagonal suffix pairs {S_a, S_(23-a)}. *)
+  let n = 24 in
+  let p = chain_problem n in
+  let l i = Alphabet.find p.Problem.alpha (Printf.sprintf "l%d" i) in
+  let suffix m = Labelset.of_list (List.init (n - m) (fun k -> l (m + k))) in
+  Rounde.reset_stats ();
+  let { Rounde.problem = p''; denotations } = Rounde.rbar p in
+  check_int "rc sets counted" n Rounde.stats.Rounde.rc_sets;
+  check_int "all suffixes used" n (Problem.label_count p'');
+  let pos_of s =
+    let rec go m =
+      if m = n then Alcotest.fail "denotation is not a suffix"
+      else if Labelset.equal s (suffix m) then m
+      else go (m + 1)
+    in
+    go 0
+  in
+  let boxes = Constr.lines p''.Problem.node in
+  check_int "antidiagonal boxes" (n / 2) (List.length boxes);
+  List.iter
+    (fun line ->
+      match Line.to_multiset line with
+      | Some m -> (
+          match Multiset.to_list m with
+          | [ a; b ] ->
+              check_int "minima sum to n-1" (n - 1)
+                (pos_of denotations.(a) + pos_of denotations.(b))
+          | _ -> Alcotest.fail "box arity")
+      | None -> Alcotest.fail "non-concrete box")
+    boxes;
+  check_bool "dominance pruning exercised" true
+    (Rounde.stats.Rounde.box_dom_checks > 0
+    && Rounde.stats.Rounde.box_dom_cheap_skips > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Simplify.drop_redundant_lines: canonical representatives            *)
+(* ------------------------------------------------------------------ *)
+
+let test_drop_redundant_cover_chain () =
+  (* A strict cover chain A^3 ⋖ [AB]^3 ⋖ [ABC]^3 plus a mixed line
+     covered by the top: exactly the maximal line survives.  Cover
+     cycles between distinct lines cannot occur — Line.covers is
+     antisymmetric on canonical lines (qcheck property below) — so
+     every cover-equivalence class is a singleton and "one canonical
+     representative per class" means precisely this. *)
+  let p =
+    Parse.problem ~name:"chain"
+      ~node:"A A A\n[AB] [AB] [AB]\n[ABC] [ABC] [ABC]\nA [AB] [ABC]"
+      ~edge:"[ABC] [ABC]"
+  in
+  let pruned = Simplify.drop_redundant_lines p in
+  (match Constr.lines pruned.Problem.node with
+  | [ line ] ->
+      check_bool "top of the chain survives" true
+        (Line.equal line (Parse.line p.Problem.alpha "[ABC] [ABC] [ABC]"))
+  | lines -> Alcotest.failf "expected 1 node line, got %d" (List.length lines));
+  check_int "edge untouched" 1 (List.length (Constr.lines pruned.Problem.edge))
+
+let simplify_prune_qcheck =
+  let gen = QCheck.(pair (int_range 1 1023) (int_range 1 63)) in
+  let line_gen =
+    QCheck.(
+      map
+        (fun (b1, b2, c) ->
+          Line.make [ (Labelset.of_bits b1, 1); (Labelset.of_bits b2, c) ])
+        (triple (int_range 1 7) (int_range 1 7) (int_range 1 3)))
+  in
+  [
+    QCheck.Test.make ~name:"pruned-lines-form-a-cover-antichain" ~count:100 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            let antichain c =
+              let lines = Constr.lines c in
+              List.for_all
+                (fun a ->
+                  List.for_all
+                    (fun b -> Line.equal a b || not (Line.covers a b))
+                    lines)
+                lines
+            in
+            let pruned = Simplify.drop_redundant_lines p in
+            antichain pruned.Problem.node && antichain pruned.Problem.edge);
+    QCheck.Test.make ~name:"dropped-lines-covered-by-kept-ones" ~count:100 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            let pruned = Simplify.drop_redundant_lines p in
+            let covered c c' =
+              let kept = Constr.lines c' in
+              List.for_all
+                (fun line -> List.exists (fun k -> Line.covers k line) kept)
+                (Constr.lines c)
+            in
+            covered p.Problem.node pruned.Problem.node
+            && covered p.Problem.edge pruned.Problem.edge);
+    QCheck.Test.make ~name:"line-covers-antisymmetric-on-canonical-lines"
+      ~count:500 (QCheck.pair line_gen line_gen)
+      (fun (a, b) ->
+        (not (Line.covers a b && Line.covers b a)) || Line.equal a b);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fixedpoint timing split                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixedpoint_normalize_timer () =
+  Fixedpoint.clear_cache ();
+  Fixedpoint.reset_stats ();
+  ignore
+    (Fixedpoint.detect (Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I"));
+  let s = Fixedpoint.stats in
+  check_bool "normalize share within step time" true
+    (s.Fixedpoint.normalize_time_s >= 0.
+    && s.Fixedpoint.normalize_time_s <= s.Fixedpoint.step_time_s +. 1e-9);
+  Fixedpoint.clear_cache ()
+
+(* ------------------------------------------------------------------ *)
 (* Pretty-printer / parser round trips                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1256,6 +1813,7 @@ let extra_suites =
         Alcotest.test_case "soundness" `Quick test_merge_soundness;
         Alcotest.test_case "equivalents" `Quick test_merge_equivalent;
         Alcotest.test_case "redundant lines" `Quick test_drop_redundant;
+        Alcotest.test_case "cover chain" `Quick test_drop_redundant_cover_chain;
       ] );
     ( "serialize",
       [
@@ -1270,6 +1828,8 @@ let extra_suites =
           test_fixedpoint_counter_matches_steps;
         Alcotest.test_case "cache up to renaming" `Quick
           test_fixedpoint_cache_isomorphic_input;
+        Alcotest.test_case "normalize timer" `Quick
+          test_fixedpoint_normalize_timer;
       ] );
     ( "parse-strict",
       [
@@ -1286,6 +1846,33 @@ let extra_suites =
         Alcotest.test_case "Pi family" `Quick test_r_reference_family;
       ] );
     qsuite "r-equivalence-props" r_reference_qcheck;
+    ( "rc-equivalence",
+      [
+        Alcotest.test_case "MIS diagrams" `Quick test_rc_reference_mis;
+        Alcotest.test_case "Pi family diagrams" `Quick test_rc_reference_family;
+        Alcotest.test_case "12-label chain" `Quick test_rc_reference_chain;
+        Alcotest.test_case "budget and early exit" `Quick test_rc_limit_guard;
+      ] );
+    qsuite "rc-equivalence-props" rc_reference_qcheck;
+    ( "clique-equivalence",
+      [
+        Alcotest.test_case "MIS" `Quick test_cliques_mis;
+        Alcotest.test_case "Pi family" `Quick test_cliques_family;
+        Alcotest.test_case "edge cases" `Quick test_cliques_edge_cases;
+        Alcotest.test_case "expansion budget" `Quick test_clique_guard;
+        Alcotest.test_case "stats counters" `Quick test_zeroround_stats;
+      ] );
+    qsuite "clique-equivalence-props" clique_reference_qcheck;
+    ( "rbar-equivalence",
+      [
+        Alcotest.test_case "MIS" `Quick test_rbar_reference_mis;
+        Alcotest.test_case "sinkless orientation" `Quick test_rbar_reference_so;
+        Alcotest.test_case "3-coloring" `Quick test_rbar_reference_coloring;
+        Alcotest.test_case "24-label chain (beyond seed caps)" `Quick
+          test_rbar_beyond_old_cap;
+      ] );
+    qsuite "rbar-equivalence-props" rbar_reference_qcheck;
+    qsuite "simplify-prune-props" simplify_prune_qcheck;
     qsuite "roundtrip-props" roundtrip_qcheck;
     qsuite "multiset-ref-props" multiset_ref_qcheck;
     ( "definitions",

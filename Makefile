@@ -19,11 +19,12 @@ bench:
 # Small pinned slice of the benchmark suite, suitable for CI: runs the
 # engine per-step statistics section (which exercises the lattice-native
 # R/Rbar pipeline end to end and rewrites BENCH_relim.json) and checks
-# that the hand-assembled JSON dump is well-formed.
+# that the hand-assembled JSON dump is well-formed and carries the
+# environment meta block (domains, OCaml version, dune profile).
 bench-smoke:
 	dune build bench
 	dune exec bench/main.exe -- relim_perf
-	dune exec bench/validate_json.exe BENCH_relim.json
+	dune exec bench/validate_json.exe -- --require-meta BENCH_relim.json
 
 clean:
 	dune clean

@@ -834,16 +834,17 @@ type step_row = {
   box_dom_checks : int;
   box_dom_cheap_skips : int;
   box_transport_calls : int;
+  transport_cache_hits : int;
 }
 
-let measure_steps name p ~max_steps =
+let measure_steps ?pool name p ~max_steps =
   result "%s:@." name;
   let rows = ref [] in
   let rec go q i =
     if i <= max_steps then begin
       Relim.Rounde.reset_stats ();
       let t0 = Unix.gettimeofday () in
-      match Relim.Rounde.step q with
+      match Relim.Rounde.step ?pool q with
       | { Relim.Rounde.problem = next; _ } ->
           let wall_s = Unix.gettimeofday () -. t0 in
           let s = Relim.Rounde.stats in
@@ -865,6 +866,7 @@ let measure_steps name p ~max_steps =
               box_dom_checks = s.Relim.Rounde.box_dom_checks;
               box_dom_cheap_skips = s.Relim.Rounde.box_dom_cheap_skips;
               box_transport_calls = s.Relim.Rounde.box_transport_calls;
+              transport_cache_hits = s.Relim.Rounde.transport_cache_hits;
             }
           in
           rows := row :: !rows;
@@ -872,12 +874,13 @@ let measure_steps name p ~max_steps =
             "  step %d: %2d -> %2d labels  %9.3f ms wall (R %.3f ms, Rbar %.3f \
              ms, maxbox %.3f ms)  %d closed sets (%d joins), %d rc sets, %d \
              boxes (+%d pruned), dominance %d pairs (%d cheap skips, %d \
-             transport)@."
+             transport, %d memo hits)@."
             i row.labels_in row.labels_out (1e3 *. wall_s)
             (1e3 *. row.r_time_s) (1e3 *. row.rbar_time_s)
             (1e3 *. row.maxbox_time_s) row.closures_visited row.closure_joins
             row.rc_sets row.boxes_emitted row.boxes_pruned row.box_dom_checks
-            row.box_dom_cheap_skips row.box_transport_calls;
+            row.box_dom_cheap_skips row.box_transport_calls
+            row.transport_cache_hits;
           go (Relim.Simplify.normalize next) (i + 1)
       | exception Failure msg ->
           result "  step %d: stopped — %s@." i msg
@@ -1008,9 +1011,64 @@ let relim_perf () =
     steps1 hits1 misses1 (1e3 *. time1) (1e3 *. norm1) steps2 hits2 misses2
     (1e3 *. time2);
   Relim.Fixedpoint.clear_cache ();
+  (* Parallel speedup: the first speedup step of Pi(5,4,2) — the
+     heaviest single step above — with a 1-domain vs a 4-domain pool,
+     best of 3 runs each.  Besides the timings we assert the
+     determinism contract: identical serialized output and identical
+     integer counters (times and the per-worker memo hit counter
+     excluded — see Rounde's interface). *)
+  let speedup_domains = 4 in
+  let speedup_runs = 3 in
+  let pi5_first = Core.Family.pi { Core.Family.delta = 5; a = 4; x = 2 } in
+  let counters () =
+    let s = Relim.Rounde.stats in
+    [
+      s.Relim.Rounde.r_calls; s.Relim.Rounde.closures_visited;
+      s.Relim.Rounde.closure_joins; s.Relim.Rounde.closure_revisits;
+      s.Relim.Rounde.rbar_calls; s.Relim.Rounde.rc_sets;
+      s.Relim.Rounde.boxes_emitted; s.Relim.Rounde.boxes_pruned;
+      s.Relim.Rounde.box_dom_checks; s.Relim.Rounde.box_dom_cheap_skips;
+      s.Relim.Rounde.box_transport_calls;
+    ]
+  in
+  let timed_step pool =
+    let best = ref infinity and out = ref None in
+    for _ = 1 to speedup_runs do
+      Relim.Rounde.reset_stats ();
+      let t0 = Unix.gettimeofday () in
+      let { Relim.Rounde.problem = next; _ } =
+        Relim.Rounde.step ~pool pi5_first
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      out := Some next
+    done;
+    (!best, Relim.Serialize.to_string (Option.get !out), counters ())
+  in
+  let pool_n = Parallel.Pool.create ~domains:speedup_domains in
+  let wall_1, out_1, counters_1 = timed_step Parallel.Pool.sequential in
+  let wall_n, out_n, counters_n = timed_step pool_n in
+  Parallel.Pool.shutdown pool_n;
+  let identical_output = String.equal out_1 out_n in
+  let identical_counters = counters_1 = counters_n in
+  let cores_available = Domain.recommended_domain_count () in
+  result
+    "@.parallel speedup on step 1 of Pi(5,4,2) (best of %d): 1 domain %.3f \
+     ms, %d domains %.3f ms -> %.2fx (%d core(s) available); identical \
+     output: %b, identical counters: %b@."
+    speedup_runs (1e3 *. wall_1) speedup_domains (1e3 *. wall_n)
+    (wall_1 /. wall_n) cores_available identical_output identical_counters;
   (* JSON dump. *)
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"bench\": \"relim\",\n  \"problems\": [\n";
+  Buffer.add_string buf "{\n  \"bench\": \"relim\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"meta\": { \"domains\": %d, \"cores_available\": %d, \
+        \"ocaml_version\": %S, \"dune_profile\": %S },\n"
+       (Relim.Parctl.domains_from_env ())
+       cores_available Sys.ocaml_version
+       (Option.value ~default:"dev" (Sys.getenv_opt "DUNE_PROFILE")));
+  Buffer.add_string buf "  \"problems\": [\n";
   List.iteri
     (fun pi (name, rows) ->
       if pi > 0 then Buffer.add_string buf ",\n";
@@ -1027,12 +1085,13 @@ let relim_perf () =
                 \"closure_joins\": %d, \"closure_revisits\": %d, \
                 \"rc_sets\": %d, \"boxes_emitted\": %d, \"boxes_pruned\": %d, \
                 \"box_dom_checks\": %d, \"box_dom_cheap_skips\": %d, \
-                \"box_transport_calls\": %d }"
+                \"box_transport_calls\": %d, \"transport_cache_hits\": %d }"
                row.step row.labels_in row.labels_out row.wall_s row.r_time_s
                row.rbar_time_s row.maxbox_time_s row.closures_visited
                row.closure_joins row.closure_revisits row.rc_sets
                row.boxes_emitted row.boxes_pruned row.box_dom_checks
-               row.box_dom_cheap_skips row.box_transport_calls))
+               row.box_dom_cheap_skips row.box_transport_calls
+               row.transport_cache_hits))
         rows;
       Buffer.add_string buf "\n    ] }")
     problems;
@@ -1054,6 +1113,14 @@ let relim_perf () =
          \"maximal_cliques\": %d, \"bk_expansions\": %d, \"clique_time_s\": \
          %.6f },\n"
         calls cliques expansions time_s));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"parallel_speedup\": { \"problem\": \"Pi(5,4,2) step 1\", \
+        \"runs\": %d, \"domains\": %d, \"wall_1_s\": %.6f, \"wall_n_s\": \
+        %.6f, \"speedup\": %.3f, \"identical_output\": %b, \
+        \"identical_counters\": %b },\n"
+       speedup_runs speedup_domains wall_1 wall_n (wall_1 /. wall_n)
+       identical_output identical_counters);
   Buffer.add_string buf
     (Printf.sprintf
        "  \"fixedpoint_cache_so_delta3\": {\n\

@@ -6,10 +6,22 @@
 
    Exit code 0 iff every file given on the command line is a single
    well-formed JSON value (RFC 8259 grammar; numbers are validated
-   syntactically, not range-checked). *)
+   syntactically, not range-checked).
+
+   With --require-meta, each file must additionally be an object with a
+   "meta" member recording the benchmark environment (domains,
+   ocaml_version, dune_profile at least), so runs from different
+   configurations can be told apart after the fact. *)
 
 exception Bad of int * string
 
+(* Member names of the "meta" object every dump must carry under
+   --require-meta. *)
+let required_meta_keys = [ "domains"; "ocaml_version"; "dune_profile" ]
+
+(* Validates [s] and returns (top-level object keys, keys of the
+   top-level "meta" object) — both empty when the value is not an
+   object / has no "meta" object member. *)
 let validate (s : string) =
   let n = String.length s in
   let pos = ref 0 in
@@ -34,8 +46,12 @@ let validate (s : string) =
   let literal word =
     String.iter (fun c -> expect c) word
   in
+  (* Returns the raw string contents (escapes kept verbatim — the keys
+     compared against them are plain ASCII). *)
   let string_body () =
     expect '"';
+    let buf = Buffer.create 16 in
+    let keep c = Buffer.add_char buf c in
     let rec go () =
       match peek () with
       | None -> fail "unterminated string"
@@ -43,24 +59,32 @@ let validate (s : string) =
       | Some '\\' -> (
           advance ();
           match peek () with
-          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          | Some (('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c) ->
+              keep '\\';
+              keep c;
               advance ();
               go ()
           | Some 'u' ->
+              keep '\\';
+              keep 'u';
               advance ();
               for _ = 1 to 4 do
                 match peek () with
-                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | Some (('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') as c) ->
+                    keep c;
+                    advance ()
                 | _ -> fail "bad \\u escape"
               done;
               go ()
           | _ -> fail "bad escape")
       | Some c when Char.code c < 0x20 -> fail "control character in string"
-      | Some _ ->
+      | Some c ->
+          keep c;
           advance ();
           go ()
     in
-    go ()
+    go ();
+    Buffer.contents buf
   in
   let digits () =
     let saw = ref false in
@@ -87,10 +111,14 @@ let validate (s : string) =
         digits ()
     | _ -> ()
   in
-  let rec value () =
+  let root_keys = ref [] and meta_keys = ref [] in
+  (* [depth] is the object-nesting depth of this value; [in_meta] marks
+     the value of the top-level "meta" member, whose own keys are
+     collected for the --require-meta check. *)
+  let rec value ~depth ~in_meta =
     skip_ws ();
     match peek () with
-    | Some '"' -> string_body ()
+    | Some '"' -> ignore (string_body ())
     | Some '{' ->
         advance ();
         skip_ws ();
@@ -98,10 +126,13 @@ let validate (s : string) =
         else begin
           let rec members () =
             skip_ws ();
-            string_body ();
+            let key = string_body () in
+            if depth = 0 then root_keys := key :: !root_keys;
+            if in_meta then meta_keys := key :: !meta_keys;
             skip_ws ();
             expect ':';
-            value ();
+            value ~depth:(depth + 1)
+              ~in_meta:(depth = 0 && String.equal key "meta");
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -118,7 +149,8 @@ let validate (s : string) =
         if peek () = Some ']' then advance ()
         else begin
           let rec elements () =
-            value ();
+            (* Array elements are never THE root object. *)
+            value ~depth:(depth + 1) ~in_meta:false;
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -136,9 +168,10 @@ let validate (s : string) =
     | Some c -> fail (Printf.sprintf "unexpected character %c" c)
     | None -> fail "empty input"
   in
-  value ();
+  value ~depth:0 ~in_meta:false;
   skip_ws ();
-  if !pos <> n then fail "trailing garbage after the JSON value"
+  if !pos <> n then fail "trailing garbage after the JSON value";
+  (List.rev !root_keys, List.rev !meta_keys)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -148,18 +181,42 @@ let read_file path =
   s
 
 let () =
-  let files =
+  let args =
     match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as files) -> files
-    | _ ->
-        prerr_endline "usage: validate_json FILE.json ...";
-        exit 2
+    | _ :: args -> args
+    | [] -> []
   in
+  let require_meta = List.mem "--require-meta" args in
+  let files = List.filter (fun a -> a <> "--require-meta") args in
+  if files = [] then begin
+    prerr_endline "usage: validate_json [--require-meta] FILE.json ...";
+    exit 2
+  end;
   let failed = ref false in
   List.iter
     (fun path ->
       match validate (read_file path) with
-      | () -> Printf.printf "%s: well-formed JSON\n" path
+      | root_keys, meta_keys ->
+          if require_meta then
+            if not (List.mem "meta" root_keys) then begin
+              failed := true;
+              Printf.eprintf "%s: missing top-level \"meta\" object\n" path
+            end
+            else begin
+              let missing =
+                List.filter
+                  (fun k -> not (List.mem k meta_keys))
+                  required_meta_keys
+              in
+              if missing <> [] then begin
+                failed := true;
+                Printf.eprintf "%s: \"meta\" lacks required key(s): %s\n" path
+                  (String.concat ", " missing)
+              end
+              else
+                Printf.printf "%s: well-formed JSON with complete meta\n" path
+            end
+          else Printf.printf "%s: well-formed JSON\n" path
       | exception Bad (pos, msg) ->
           failed := true;
           Printf.eprintf "%s: invalid JSON at byte %d: %s\n" path pos msg

@@ -46,6 +46,20 @@ let node_t =
 let edge_t =
   Arg.(value & opt (some string) None & info [ "edge" ] ~doc:"Edge constraint; configurations separated by ';'.")
 
+let domains_t =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ]
+        ~doc:
+          "Worker domains for the engine's parallel hot paths (results are \
+           identical for every count).  0 (the default) defers to the \
+           RELIM_DOMAINS environment variable; 1 forces sequential.")
+
+(* [None] (from --domains 0) lets the engine fall back to the
+   RELIM_DOMAINS-driven default pool. *)
+let pool_of_domains d =
+  if d >= 1 then Some (Parallel.Pool.create ~domains:d) else None
+
 (* ---- show ---- *)
 
 let show preset delta a x node edge diagrams =
@@ -68,12 +82,13 @@ let show_cmd =
 
 (* ---- step ---- *)
 
-let step preset delta a x node edge steps =
+let step preset delta a x node edge steps domains =
+  let pool = pool_of_domains domains in
   let p = ref (preset_problem preset delta a x node edge) in
   Format.printf "%a@." Relim.Problem.pp !p;
   (try
      for i = 1 to steps do
-       let { Relim.Rounde.problem = next; _ } = Relim.Rounde.step !p in
+       let { Relim.Rounde.problem = next; _ } = Relim.Rounde.step ?pool !p in
        p := next;
        Format.printf "@.after speedup step %d (%d labels):@.%a@." i
          (Relim.Problem.label_count next)
@@ -87,18 +102,21 @@ let step_cmd =
   in
   Cmd.v
     (Cmd.info "step" ~doc:"Apply round-elimination speedup steps (Rbar o R)")
-    Term.(const step $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t)
+    Term.(
+      const step $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t
+      $ domains_t)
 
 (* ---- zero-round ---- *)
 
-let zero_round preset delta a x node edge =
+let zero_round preset delta a x node edge domains =
+  let pool = pool_of_domains domains in
   let p = preset_problem preset delta a x node edge in
   (match Relim.Zeroround.solvable_mirrored p with
   | Some w ->
       Format.printf "0-round solvable under mirrored ports, witness: %s@."
         (Relim.Multiset.to_string p.alpha w)
   | None -> Format.printf "NOT 0-round solvable under mirrored ports@.");
-  (match Relim.Zeroround.solvable_arbitrary_ports p with
+  (match Relim.Zeroround.solvable_arbitrary_ports ?pool p with
   | Some w ->
       Format.printf "0-round solvable under arbitrary ports, witness: %s@."
         (Relim.Multiset.to_string p.alpha w)
@@ -110,7 +128,9 @@ let zero_round preset delta a x node edge =
 let zero_round_cmd =
   Cmd.v
     (Cmd.info "zero-round" ~doc:"Decide 0-round solvability in the PN model")
-    Term.(const zero_round $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t)
+    Term.(
+      const zero_round $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
+      $ domains_t)
 
 (* ---- chain ---- *)
 
@@ -231,9 +251,10 @@ let load_cmd =
 
 (* ---- upper-bound ---- *)
 
-let upper_bound preset delta a x node edge max_steps =
+let upper_bound preset delta a x node edge max_steps domains =
+  let pool = pool_of_domains domains in
   let p = preset_problem preset delta a x node edge in
-  match Relim.Upperbound.search ~max_steps p with
+  match Relim.Upperbound.search ~max_steps ?pool p with
   | Relim.Upperbound.Solvable_in k ->
       Format.printf
         "solvable in %d round(s) in the PN model (on high-girth Delta-regular instances)@."
@@ -247,18 +268,22 @@ let upper_bound_cmd =
   in
   Cmd.v
     (Cmd.info "upper-bound" ~doc:"Search for an upper bound by iterated speedup")
-    Term.(const upper_bound $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t)
+    Term.(
+      const upper_bound $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
+      $ steps_t $ domains_t)
 
 (* ---- fixed-point ---- *)
 
-let fixed_point preset delta a x node edge max_steps =
+let fixed_point preset delta a x node edge max_steps domains =
+  let pool = pool_of_domains domains in
   let p = preset_problem preset delta a x node edge in
-  match Relim.Fixedpoint.detect ~max_steps p with
+  match Relim.Fixedpoint.detect ~max_steps ?pool p with
   | Relim.Fixedpoint.Fixed_point (p0, _) ->
       Format.printf "the problem is itself a fixed point of Rbar o R:@.%a@."
         Relim.Problem.pp p0;
       Option.iter (Format.printf "=> %s@.")
-        (Relim.Fixedpoint.lower_bound_statement (Relim.Fixedpoint.detect ~max_steps p))
+        (Relim.Fixedpoint.lower_bound_statement
+           (Relim.Fixedpoint.detect ~max_steps ?pool p))
   | Relim.Fixedpoint.Reaches_fixed_point (steps, fp) ->
       Format.printf "stabilizes after %d step(s) at:@.%a@." steps
         Relim.Problem.pp fp;
@@ -275,7 +300,9 @@ let fixed_point_cmd =
   in
   Cmd.v
     (Cmd.info "fixed-point" ~doc:"Search for a round-elimination fixed point")
-    Term.(const fixed_point $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t)
+    Term.(
+      const fixed_point $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
+      $ steps_t $ domains_t)
 
 (* ---- certify ---- *)
 

@@ -42,7 +42,7 @@ let same_problem (a : Problem.t) (b : Problem.t) =
    && Constr.equal a.node b.node && Constr.equal a.edge b.edge)
   || Iso.equal_up_to_renaming a b
 
-let step_normalized ?expand_limit p =
+let step_normalized ?expand_limit ?pool p =
   stats.steps_applied <- stats.steps_applied + 1;
   let key = Iso.invariant_hash p in
   let bucket =
@@ -59,19 +59,20 @@ let step_normalized ?expand_limit p =
       next
   | None ->
       stats.cache_misses <- stats.cache_misses + 1;
-      let t0 = Sys.time () in
-      let { Rounde.problem = next; _ } = Rounde.step ?expand_limit p in
-      let t1 = Sys.time () in
+      (* Wall time, not CPU time: the step may fan out over domains. *)
+      let t0 = Unix.gettimeofday () in
+      let { Rounde.problem = next; _ } = Rounde.step ?expand_limit ?pool p in
+      let t1 = Unix.gettimeofday () in
       let next = Simplify.normalize next in
-      let t2 = Sys.time () in
+      let t2 = Unix.gettimeofday () in
       stats.normalize_time_s <- stats.normalize_time_s +. (t2 -. t1);
       stats.step_time_s <- stats.step_time_s +. (t2 -. t0);
       bucket := (p, next) :: !bucket;
       next
 
-let detect ?(max_steps = 5) ?expand_limit p =
+let detect ?(max_steps = 5) ?expand_limit ?pool p =
   let p0 = Simplify.normalize p in
-  let first = step_normalized ?expand_limit p0 in
+  let first = step_normalized ?expand_limit ?pool p0 in
   match Iso.find_renaming first p0 with
   | Some assoc -> Fixed_point (p0, assoc)
   | None ->
@@ -81,7 +82,7 @@ let detect ?(max_steps = 5) ?expand_limit p =
       let rec iterate prev i =
         if i > max_steps then No_fixed_point_found prev
         else begin
-          let next = step_normalized ?expand_limit prev in
+          let next = step_normalized ?expand_limit ?pool prev in
           if Iso.equal_up_to_renaming next prev then
             Reaches_fixed_point (i, prev)
           else iterate next (i + 1)

@@ -34,14 +34,17 @@ type verdict =
     rather than the structurally identical problem — detection only
     ever compares up to renaming, so verdicts are unaffected.  The
     cache ignores [expand_limit] (memoized values are limit-independent
-    results of successful steps).
+    results of successful steps) and [pool] (results are identical for
+    every domain count, so the pool is purely a performance knob; it is
+    passed through to {!Rounde.step}, defaulting to {!Parctl.default}).
     @raise Failure if a step exceeds the engine's budgets. *)
 val detect :
-  ?max_steps:int -> ?expand_limit:float -> Problem.t -> verdict
+  ?max_steps:int -> ?expand_limit:float -> ?pool:Parallel.Pool.t ->
+  Problem.t -> verdict
 
 (** Counters for the memoized driver: logical step applications
-    (including cache hits), cache hits/misses, and CPU seconds spent in
-    uncached steps.  [step_time_s] covers [Rounde.step] plus the
+    (including cache hits), cache hits/misses, and wall seconds spent in
+    uncached steps (wall, not CPU: steps may fan out over domains).  [step_time_s] covers [Rounde.step] plus the
     subsequent [Simplify.normalize]; [normalize_time_s] is the
     normalization share of it. *)
 type stats = {

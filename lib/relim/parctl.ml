@@ -1,0 +1,16 @@
+let env_var = "RELIM_DOMAINS"
+
+let domains_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | Some _ | None -> 1)
+
+let default_pool =
+  lazy (Parallel.Pool.create ~domains:(domains_from_env ()))
+
+let default () = Lazy.force default_pool
+
+let resolve = function Some pool -> pool | None -> default ()

@@ -1,0 +1,25 @@
+(** Engine-wide parallelism control.
+
+    Every parallel hot path in the engine ([Rounde.rbar]'s box search
+    and maximal-box filter, [Zeroround.solvable_arbitrary_ports]'s
+    Bron–Kerbosch branch fan-out) takes an optional [?pool] argument.
+    When the argument is omitted the path uses the process-wide default
+    pool, whose domain count is read once from the [RELIM_DOMAINS]
+    environment variable (unset, unparseable or [<= 1] means
+    sequential).  Results are identical for every domain count — the
+    variable is purely a performance knob, safe to set for an entire
+    test run. *)
+
+(** Name of the environment variable: ["RELIM_DOMAINS"]. *)
+val env_var : string
+
+(** Domain count requested by the environment ([>= 1]; [1] when the
+    variable is unset or invalid). *)
+val domains_from_env : unit -> int
+
+(** The process-wide default pool.  Created lazily from
+    {!domains_from_env} on first use. *)
+val default : unit -> Parallel.Pool.t
+
+(** [resolve pool] is [pool] if given, otherwise {!default} [()]. *)
+val resolve : Parallel.Pool.t option -> Parallel.Pool.t

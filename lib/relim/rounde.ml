@@ -12,6 +12,7 @@ type stats = {
   mutable box_dom_checks : int;
   mutable box_dom_cheap_skips : int;
   mutable box_transport_calls : int;
+  mutable transport_cache_hits : int;
   mutable r_time_s : float;
   mutable rbar_time_s : float;
   mutable maxbox_time_s : float;
@@ -30,10 +31,15 @@ let stats =
     box_dom_checks = 0;
     box_dom_cheap_skips = 0;
     box_transport_calls = 0;
+    transport_cache_hits = 0;
     r_time_s = 0.;
     rbar_time_s = 0.;
     maxbox_time_s = 0.;
   }
+
+(* Wall-clock time: the engine may fan out over domains, so CPU time
+   ([Sys.time], which sums over threads) would be misleading. *)
+let now () = Unix.gettimeofday ()
 
 let reset_stats () =
   stats.r_calls <- 0;
@@ -47,6 +53,7 @@ let reset_stats () =
   stats.box_dom_checks <- 0;
   stats.box_dom_cheap_skips <- 0;
   stats.box_transport_calls <- 0;
+  stats.transport_cache_hits <- 0;
   stats.r_time_s <- 0.;
   stats.rbar_time_s <- 0.;
   stats.maxbox_time_s <- 0.
@@ -125,7 +132,7 @@ let intern_sets base denots =
   Alphabet.create names
 
 let r (p : Problem.t) =
-  let t0 = Sys.time () in
+  let t0 = now () in
   stats.r_calls <- stats.r_calls + 1;
   let n = Alphabet.size p.alpha in
   let compat = compat_matrix p in
@@ -214,7 +221,7 @@ let r (p : Problem.t) =
       ~alpha:alpha' ~node:(Constr.make node_lines)
       ~edge:(Constr.make edge_lines)
   in
-  stats.r_time_s <- stats.r_time_s +. (Sys.time () -. t0);
+  stats.r_time_s <- stats.r_time_s +. (now () -. t0);
   { problem; denotations = denots }
 
 (* --- R̄ ---------------------------------------------------------- *)
@@ -239,7 +246,13 @@ end)
    actually performed, and stopped as fast as the cap used to. *)
 let box_work_limit = 5_000_000
 
-let valid_boxes (p : Problem.t) ~expand_limit ~rc_limit =
+(* Per-worker accumulator for the box DFS: merged into the global
+   [stats] at join, so the counters are exact and race-free for any
+   domain count. *)
+type box_local = { mutable emitted : int; mutable pruned : int }
+
+let valid_boxes ?pool (p : Problem.t) ~expand_limit ~rc_limit =
+  let pool = Parctl.resolve pool in
   let delta = Problem.delta p in
   if Constr.expansion_estimate p.node > expand_limit then
     failwith "Rounde.rbar: node constraint expansion too large";
@@ -251,56 +264,87 @@ let valid_boxes (p : Problem.t) ~expand_limit ~rc_limit =
   let rc = Array.of_list (Diagram.right_closed_sets ~limit:rc_limit diagram) in
   stats.rc_sets <- stats.rc_sets + Array.length rc;
   let configs = Constr.expand ~limit:expand_limit p.node in
-  (* Sub-multiset membership table for pruning. *)
+  (* Sub-multiset membership table for pruning; read-only once built. *)
   let subs = MsTbl.create 65536 in
   List.iter
     (fun m -> Multiset.sub_multisets m (fun sub -> MsTbl.replace subs sub ()))
     configs;
-  let work = ref 0 in
-  let minimals = Array.map (Diagram.minimal_elements diagram) rc in
-  let boxes = ref [] in
-  (* [partials] is the list of distinct minimal-choice multisets of the
-     current prefix; all are sub-multisets of allowed configurations. *)
-  let rec go depth lo (box : int list) partials =
-    if depth = delta then begin
-      stats.boxes_emitted <- stats.boxes_emitted + 1;
-      boxes := List.rev_map (fun i -> rc.(i)) box :: !boxes
-    end
-    else
-      for i = lo to Array.length rc - 1 do
-        let extended = MsTbl.create 64 in
-        let all_ok = ref true in
-        work := !work + 1 + List.length partials;
-        if !work > box_work_limit then
-          failwith "Rounde.rbar: box enumeration exceeded the work budget";
-        List.iter
-          (fun partial ->
-            Labelset.iter
-              (fun m ->
-                let next = Multiset.add m partial in
-                if MsTbl.mem subs next then MsTbl.replace extended next ()
-                else all_ok := false)
-              minimals.(i))
-          partials;
-        if !all_ok then begin
-          let partials' = MsTbl.fold (fun k () acc -> k :: acc) extended [] in
-          go (depth + 1) i (i :: box) partials'
-        end
-        else stats.boxes_pruned <- stats.boxes_pruned + 1
-      done
+  let m = Array.length rc in
+  (* The work budget is shared across branches through an atomic
+     counter: the total demand is a fixed property of the instance, so
+     whether some branch trips the budget — and hence the verdict — is
+     identical for every domain count and schedule. *)
+  let work = Atomic.make 0 in
+  let charge amount =
+    let before = Atomic.fetch_and_add work amount in
+    if before + amount > box_work_limit then
+      failwith "Rounde.rbar: box enumeration exceeded the work budget"
   in
-  go 0 0 [] [ Multiset.of_list [] ];
-  !boxes
-
-(* Does box [a] (multiset of label sets) dominate box [b]:  a ≠ b and a
-   permutation matches every Bᵢ of [b] into a superset in [a]? *)
-let box_leq a b =
-  (* a ≤ b iff each set of a maps injectively to a superset in b. *)
-  let a = Array.of_list a and b = Array.of_list b in
-  Util.transport_feasible
-    ~supply:(Array.map (fun _ -> 1) a)
-    ~demand:(Array.map (fun _ -> 1) b)
-    ~allowed:(fun i j -> Labelset.subset a.(i) b.(j))
+  let minimals = Array.map (Diagram.minimal_elements diagram) rc in
+  (* The DFS fans out over the top-level right-closed-set choice: branch
+     [top] explores every box whose smallest set index is [top].
+     Branches are independent; each collects its boxes in its own
+     prepend-order list ([branch_boxes.(top)]), and the final merge
+     reproduces the sequential emission order exactly (see below).
+     [partials] is the list of distinct minimal-choice multisets of the
+     current prefix; all are sub-multisets of allowed configurations. *)
+  let branch_boxes = Array.make (max 1 m) [] in
+  let run_branch local top =
+    let boxes = ref [] in
+    let rec extend depth i (box : int list) partials =
+      let extended = MsTbl.create 64 in
+      let all_ok = ref true in
+      charge (1 + List.length partials);
+      List.iter
+        (fun partial ->
+          Labelset.iter
+            (fun mn ->
+              let next = Multiset.add mn partial in
+              if MsTbl.mem subs next then MsTbl.replace extended next ()
+              else all_ok := false)
+            minimals.(i))
+        partials;
+      if !all_ok then begin
+        let partials' = MsTbl.fold (fun k () acc -> k :: acc) extended [] in
+        go (depth + 1) i (i :: box) partials'
+      end
+      else local.pruned <- local.pruned + 1
+    and go depth lo box partials =
+      if depth = delta then begin
+        local.emitted <- local.emitted + 1;
+        boxes := List.rev_map (fun i -> rc.(i)) box :: !boxes
+      end
+      else
+        for i = lo to m - 1 do
+          extend depth i box partials
+        done
+    in
+    extend 0 top [] [ Multiset.of_list [] ];
+    branch_boxes.(top) <- !boxes
+  in
+  if delta = 0 then begin
+    (* Degenerate arity: the single (empty) box, as the sequential DFS
+       emitted it. *)
+    stats.boxes_emitted <- stats.boxes_emitted + 1;
+    [ [] ]
+  end
+  else begin
+    Parallel.Pool.run ~chunk:1 pool ~n:m
+      ~init:(fun () -> { emitted = 0; pruned = 0 })
+      ~body:run_branch
+      ~merge:(fun l ->
+        stats.boxes_emitted <- stats.boxes_emitted + l.emitted;
+        stats.boxes_pruned <- stats.boxes_pruned + l.pruned);
+    (* Sequentially, boxes were prepended to one shared list while the
+       top-level index increased, so the final list was
+       rev(e_{m-1}) @ ... @ rev(e_0) with e_t = branch t's emission
+       sequence.  Each branch list is already rev(e_t); folding the
+       branches in increasing order with [l @ acc] rebuilds exactly
+       that list, so downstream consumers (the dominance filter's
+       descending-total sort in particular) see a bit-identical input
+       for every domain count. *)
+    Array.fold_left (fun acc l -> l @ acc) [] branch_boxes
+  end
 
 (* Precomputed dominance keys.  If [box_leq b b'] (every set of [b]
    matched injectively into a superset in [b']) then necessarily:
@@ -312,8 +356,8 @@ let box_leq a b =
    matching; scanning candidates in decreasing total-cardinality order
    additionally confines possible dominators to a prefix. *)
 type box_key = {
-  box : Labelset.t list;
   sorted : Labelset.t list;  (* canonical form, for equality *)
+  sets : Labelset.t array;  (* the canonical form again, for indexing *)
   sizes : int array;  (* set cardinalities, ascending *)
   total : int;
   support : Labelset.t;
@@ -323,8 +367,8 @@ let box_key box =
   let sorted = List.sort Labelset.compare box in
   let sizes = Array.of_list (List.sort compare (List.map Labelset.cardinal box)) in
   {
-    box;
     sorted;
+    sets = Array.of_list sorted;
     sizes;
     total = Array.fold_left ( + ) 0 sizes;
     support = List.fold_left Labelset.union Labelset.empty box;
@@ -336,14 +380,70 @@ let sizes_dominated a b =
   Array.iteri (fun i c -> if c > b.(i) then ok := false) a;
   !ok
 
-let maximal_boxes boxes =
-  let t0 = Sys.time () in
+(* Per-worker accumulator for the dominance screen.  The transport memo
+   lives here too, keeping it race-free; the hit counter is therefore
+   schedule-dependent when [domains > 1] (the only stats field that
+   is — see the .mli). *)
+type dom_local = {
+  mutable checks : int;
+  mutable cheap_skips : int;
+  mutable transport_calls : int;
+  mutable cache_hits : int;
+  memo : (int array, bool) Hashtbl.t;
+}
+
+(* The exact transportation verdict for [bi ≤ bj] — does an injective
+   map send every set of [bi] into a superset in [bj]? — with two
+   layers in front of the matching search.  Fast path: if the ascending
+   size vectors are equal, an injective matching into supersets has
+   slack sum zero, hence forces set-wise equality, so feasibility
+   reduces to equality of the canonical forms.  Memo: with all-ones
+   supply/demand of the common arity Δ, the verdict is a function of
+   the Δ×Δ subset-relation matrix alone — and the same matrix pattern
+   recurs across many box pairs (the pairs themselves never repeat, so
+   nothing finer could ever hit).  The matrix costs Δ² word-level
+   subset tests, which the matching search would perform anyway; keys
+   are the matrix bits packed into an int array. *)
+let transport_verdict local bi bj =
+  local.transport_calls <- local.transport_calls + 1;
+  if bi.sizes = bj.sizes then List.equal Labelset.equal bi.sorted bj.sorted
+  else begin
+    let a = bi.sets and b = bj.sets in
+    let d = Array.length a in
+    let matrix = Array.make (d * d) false in
+    let key = Array.make (((d * d) + 62) / 63) 0 in
+    for i = 0 to d - 1 do
+      for j = 0 to d - 1 do
+        if Labelset.subset a.(i) b.(j) then begin
+          let bit = (i * d) + j in
+          matrix.(bit) <- true;
+          key.(bit / 63) <- key.(bit / 63) lor (1 lsl (bit mod 63))
+        end
+      done
+    done;
+    match Hashtbl.find_opt local.memo key with
+    | Some v ->
+        local.cache_hits <- local.cache_hits + 1;
+        v
+    | None ->
+        let v =
+          Util.transport_feasible ~supply:(Array.make d 1)
+            ~demand:(Array.make d 1)
+            ~allowed:(fun i j -> matrix.((i * d) + j))
+        in
+        Hashtbl.add local.memo key v;
+        v
+  end
+
+let maximal_boxes ?pool boxes =
+  let pool = Parctl.resolve pool in
+  let t0 = now () in
   let keyed = Array.of_list (List.map box_key boxes) in
   let m = Array.length keyed in
   (* Candidate dominators, in non-increasing total cardinality. *)
   let order = Array.init m Fun.id in
   Array.sort (fun i j -> compare keyed.(j).total keyed.(i).total) order;
-  let dominated i =
+  let dominated local i =
     let bi = keyed.(i) in
     let rec scan idx =
       if idx >= m then false
@@ -352,37 +452,50 @@ let maximal_boxes boxes =
         if keyed.(j).total < bi.total then false
         else if j = i then scan (idx + 1)
         else begin
-          stats.box_dom_checks <- stats.box_dom_checks + 1;
+          local.checks <- local.checks + 1;
           let bj = keyed.(j) in
           if
             (not (Labelset.subset bi.support bj.support))
             || not (sizes_dominated bi.sizes bj.sizes)
           then begin
-            stats.box_dom_cheap_skips <- stats.box_dom_cheap_skips + 1;
+            local.cheap_skips <- local.cheap_skips + 1;
             scan (idx + 1)
           end
           else if List.equal Labelset.equal bi.sorted bj.sorted then
             scan (idx + 1)
-          else begin
-            stats.box_transport_calls <- stats.box_transport_calls + 1;
-            if box_leq bi.box bj.box then true else scan (idx + 1)
-          end
+          else if transport_verdict local bi bj then true
+          else scan (idx + 1)
         end
     in
     scan 0
   in
-  let result = List.filteri (fun i _ -> not (dominated i)) boxes in
-  stats.maxbox_time_s <- stats.maxbox_time_s +. (Sys.time () -. t0);
+  (* Each box's verdict is independent of the others' (the screen reads
+     only the immutable [keyed]/[order] tables), so the boxes fan out
+     over the pool; the flags array is written index-addressed and read
+     after the join, preserving the input order exactly. *)
+  let flags = Array.make (max 1 m) false in
+  Parallel.Pool.run ~chunk:16 pool ~n:m
+    ~init:(fun () ->
+      { checks = 0; cheap_skips = 0; transport_calls = 0; cache_hits = 0;
+        memo = Hashtbl.create 256 })
+    ~body:(fun local i -> flags.(i) <- dominated local i)
+    ~merge:(fun l ->
+      stats.box_dom_checks <- stats.box_dom_checks + l.checks;
+      stats.box_dom_cheap_skips <- stats.box_dom_cheap_skips + l.cheap_skips;
+      stats.box_transport_calls <- stats.box_transport_calls + l.transport_calls;
+      stats.transport_cache_hits <- stats.transport_cache_hits + l.cache_hits);
+  let result = List.filteri (fun i _ -> not flags.(i)) boxes in
+  stats.maxbox_time_s <- stats.maxbox_time_s +. (now () -. t0);
   result
 
-let rbar ?(expand_limit = 2e6) ?(rc_limit = 100_000) (p : Problem.t) =
-  let t0 = Sys.time () in
+let rbar ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool (p : Problem.t) =
+  let t0 = now () in
   stats.rbar_calls <- stats.rbar_calls + 1;
   (* No label cap: the order-ideal enumeration behind
      [Diagram.right_closed_sets] is output-sensitive, and runaway
      instances are stopped by [rc_limit], [expand_limit] and the DFS
      work budget instead — all of which fail as fast as the old cap. *)
-  let boxes = maximal_boxes (valid_boxes p ~expand_limit ~rc_limit) in
+  let boxes = maximal_boxes ?pool (valid_boxes ?pool p ~expand_limit ~rc_limit) in
   if boxes = [] then failwith "Rounde.rbar: empty node constraint";
   (* New alphabet: the distinct sets used in maximal boxes. *)
   let module SS = Set.Make (struct
@@ -438,12 +551,12 @@ let rbar ?(expand_limit = 2e6) ?(rc_limit = 100_000) (p : Problem.t) =
       ~alpha:alpha'' ~node:(Constr.make node_lines)
       ~edge:(Constr.make !edge_lines)
   in
-  stats.rbar_time_s <- stats.rbar_time_s +. (Sys.time () -. t0);
+  stats.rbar_time_s <- stats.rbar_time_s +. (now () -. t0);
   { problem; denotations = denots }
 
-let step ?expand_limit ?rc_limit p =
+let step ?expand_limit ?rc_limit ?pool p =
   let { problem = p'; _ } = r p in
-  let { problem = p''; denotations } = rbar ?expand_limit ?rc_limit p' in
+  let { problem = p''; denotations } = rbar ?expand_limit ?rc_limit ?pool p' in
   (* No trim needed: every label of [rbar]'s output occurs in its node
      constraint by construction, so trimming would be a no-op and would
      desynchronize [denotations]. *)

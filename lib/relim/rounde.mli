@@ -21,9 +21,20 @@ type denoted = {
 }
 
 (** Cumulative counters for the engine's hot paths, updated by every
-    [r] / [rbar] call since the last {!reset_stats}.  Times are CPU
-    seconds ([Sys.time]), which coincides with wall time for this
-    single-threaded code. *)
+    [r] / [rbar] call since the last {!reset_stats}.  Times are wall
+    seconds ([Unix.gettimeofday]): the hot paths may fan out over
+    domains, where CPU time would sum across workers.
+
+    Parallel sections accumulate into per-domain records that are
+    merged into this global record when the section joins, so every
+    counter is exact (no lost updates) and — with the two exceptions
+    below — identical for every domain count.  Exceptions:
+    {ul
+    {- the [*_time_s] fields measure wall time and vary run to run;}
+    {- [transport_cache_hits] counts hits in {e per-worker} memo
+       tables, so its value depends on how boxes were scheduled onto
+       workers when more than one domain is used (with one domain it is
+       deterministic).}} *)
 type stats = {
   mutable r_calls : int;
   mutable closures_visited : int;
@@ -43,14 +54,21 @@ type stats = {
   mutable box_dom_cheap_skips : int;
       (** Pairs rejected by the support/size screens alone. *)
   mutable box_transport_calls : int;
-      (** Pairs that needed the exact transportation matching. *)
+      (** Pairs that needed the exact transportation matching (whether
+          answered by the fast path, the memo, or a fresh matching). *)
+  mutable transport_cache_hits : int;
+      (** Transportation verdicts answered by a per-worker memo keyed
+          on the Δ×Δ subset-relation matrix of the two boxes (the
+          matching verdict is a function of that matrix alone). *)
   mutable r_time_s : float;
   mutable rbar_time_s : float;
   mutable maxbox_time_s : float;
       (** Time inside the maximal-box filter (included in [rbar_time_s]). *)
 }
 
-(** The single global stats record (the engine is single-threaded). *)
+(** The single global stats record.  Parallel sections merge their
+    per-domain accumulators into it at join time; outside of a running
+    [r] / [rbar] call it is safe to read and reset from the caller. *)
 val stats : stats
 
 val reset_stats : unit -> unit
@@ -79,9 +97,20 @@ val r : Problem.t -> denoted
     10⁵); a fixed internal work budget additionally bounds the box
     DFS, so genuinely exponential instances fail as fast as the old
     hard 20-label cap did.
+    @param pool domain pool for the box DFS and the maximal-box filter
+    (defaults to {!Parctl.default}).  The result — problem, box order,
+    denotations, and budget verdicts — is identical for every domain
+    count; the work budget is shared across branches through an atomic
+    counter, so whether it trips is a property of the instance, not of
+    the schedule.
     @raise Failure if any budget is exceeded. *)
-val rbar : ?expand_limit:float -> ?rc_limit:int -> Problem.t -> denoted
+val rbar :
+  ?expand_limit:float -> ?rc_limit:int -> ?pool:Parallel.Pool.t ->
+  Problem.t -> denoted
 
 (** [step p] is [rbar (r p)], trimmed, with a composed name.  The
-    denotations relate labels of the result to labels of [r p]. *)
-val step : ?expand_limit:float -> ?rc_limit:int -> Problem.t -> denoted
+    denotations relate labels of the result to labels of [r p].
+    [?pool] is passed through to {!rbar}. *)
+val step :
+  ?expand_limit:float -> ?rc_limit:int -> ?pool:Parallel.Pool.t ->
+  Problem.t -> denoted

@@ -1,11 +1,11 @@
 type outcome = Solvable_in of int | Unknown_after of int
 
-let search ?(max_steps = 4) ?expand_limit p =
+let search ?(max_steps = 4) ?expand_limit ?pool p =
   let rec go p steps =
-    if Zeroround.solvable_arbitrary_ports p <> None then Solvable_in steps
+    if Zeroround.solvable_arbitrary_ports ?pool p <> None then Solvable_in steps
     else if steps >= max_steps then Unknown_after steps
     else
-      match Rounde.step ?expand_limit p with
+      match Rounde.step ?expand_limit ?pool p with
       | { Rounde.problem = next; _ } -> go (Simplify.normalize next) (steps + 1)
       | exception Failure _ -> Unknown_after steps
   in

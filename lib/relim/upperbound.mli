@@ -19,4 +19,9 @@ type outcome =
       (** Budget exhausted (steps or label blow-up) after this many
           completed steps. *)
 
-val search : ?max_steps:int -> ?expand_limit:float -> Problem.t -> outcome
+(** [?pool] is passed through to the speedup steps and the 0-round
+    decider (default {!Parctl.default}); the outcome is identical for
+    every domain count. *)
+val search :
+  ?max_steps:int -> ?expand_limit:float -> ?pool:Parallel.Pool.t ->
+  Problem.t -> outcome

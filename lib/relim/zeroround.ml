@@ -116,10 +116,13 @@ let iter_maximal_cliques ?(max_expansions = 1_000_000) compat n f =
   in
   bk Labelset.empty !vertices Labelset.empty
 
-exception Found of Multiset.t
+(* Per-worker accumulator for the parallel clique search, merged into
+   the global [stats] at join. *)
+type bk_local = { mutable cliques : int; mutable expansions : int }
 
-let solvable_arbitrary_ports ?max_expansions p =
-  let t0 = Sys.time () in
+let solvable_arbitrary_ports ?(max_expansions = 1_000_000) ?pool p =
+  let pool = Parctl.resolve pool in
+  let t0 = Unix.gettimeofday () in
   stats.clique_calls <- stats.clique_calls + 1;
   let compat = compat_matrix p in
   let n = Alphabet.size p.alpha in
@@ -128,20 +131,122 @@ let solvable_arbitrary_ports ?max_expansions p =
      predicate is monotone in the pool; since every clique extends to a
      maximal one, scanning maximal cliques only is complete.  The
      witness drawn by [pick_from_pool] is supported inside
-     [line-sets ∩ clique], so no membership re-check is needed. *)
-  let result =
-    match
-      iter_maximal_cliques ?max_expansions compat n (fun clique ->
-          match
-            List.find_map (fun line -> pick_from_pool line clique) lines
-          with
-          | Some witness -> raise (Found witness)
-          | None -> ())
-    with
-    | () -> None
-    | exception Found witness -> Some witness
+     [line-sets ∩ clique], so no membership re-check is needed.
+
+     The Bron–Kerbosch root is unrolled by hand: its children (one per
+     non-neighbor of the root pivot) are independent subtrees, which
+     fan out over the pool.  Every subtree runs to completion (stopping
+     only at its own first witness), so the set of cliques visited, the
+     merged counters, and the verdict — the DFS-first witness of the
+     lowest-indexed subtree, exactly the witness the sequential search
+     returns — are identical for every domain count.  The expansion
+     budget is shared through an atomic counter for the same reason:
+     the total demand is fixed, so whether it trips does not depend on
+     the schedule. *)
+  let budget = Atomic.make 0 in
+  let charge local =
+    local.expansions <- local.expansions + 1;
+    let before = Atomic.fetch_and_add budget 1 in
+    if before + 1 > max_expansions then
+      failwith
+        (Printf.sprintf
+           "Zeroround: maximal-clique enumeration exceeded %d expansions"
+           max_expansions)
   in
-  stats.clique_time_s <- stats.clique_time_s +. (Sys.time () -. t0);
+  let vertices = ref Labelset.empty in
+  for a = 0 to n - 1 do
+    if compat.(a).(a) then vertices := Labelset.add a !vertices
+  done;
+  let vertices = !vertices in
+  let nbr =
+    Array.init n (fun a ->
+        let acc = ref Labelset.empty in
+        if compat.(a).(a) then
+          Labelset.iter
+            (fun b -> if b <> a && compat.(a).(b) then acc := Labelset.add b !acc)
+            vertices;
+        !acc)
+  in
+  let pivot_of p x =
+    let pivot = ref (-1) and best = ref (-1) in
+    Labelset.iter
+      (fun u ->
+        let c = Labelset.inter_cardinal p nbr.(u) in
+        if c > !best then begin
+          best := c;
+          pivot := u
+        end)
+      (Labelset.union p x);
+    !pivot
+  in
+  (* The root is an expansion like any other (so [max_expansions = 0]
+     still fails loudly); it never emits a clique itself because its
+     [r] is empty. *)
+  let root = { cliques = 0; expansions = 0 } in
+  charge root;
+  stats.bk_expansions <- stats.bk_expansions + root.expansions;
+  let result =
+    if Labelset.is_empty vertices then None
+    else begin
+      (* Branch inputs, replayed exactly as the sequential loop would
+         evolve P and X over the root's branching vertices. *)
+      let branches =
+        let acc = ref [] and p = ref vertices and x = ref Labelset.empty in
+        Labelset.iter
+          (fun v ->
+            acc :=
+              (Labelset.singleton v,
+               Labelset.inter !p nbr.(v),
+               Labelset.inter !x nbr.(v))
+              :: !acc;
+            p := Labelset.remove v !p;
+            x := Labelset.add v !x)
+          (Labelset.diff vertices nbr.(pivot_of vertices Labelset.empty));
+        Array.of_list (List.rev !acc)
+      in
+      let results = Array.make (max 1 (Array.length branches)) None in
+      let exception Found_in_branch of Multiset.t in
+      let run_branch local k =
+        let rec bk r p x =
+          charge local;
+          if Labelset.is_empty p && Labelset.is_empty x then begin
+            (* [r] is non-empty: every branch starts from a singleton. *)
+            local.cliques <- local.cliques + 1;
+            match
+              List.find_map (fun line -> pick_from_pool line r) lines
+            with
+            | Some witness -> raise (Found_in_branch witness)
+            | None -> ()
+          end
+          else begin
+            let pivot = pivot_of p x in
+            let p = ref p and x = ref x in
+            Labelset.iter
+              (fun v ->
+                bk (Labelset.add v r) (Labelset.inter !p nbr.(v))
+                  (Labelset.inter !x nbr.(v));
+                p := Labelset.remove v !p;
+                x := Labelset.add v !x)
+              (Labelset.diff !p nbr.(pivot))
+          end
+        in
+        let r, p0, x0 = branches.(k) in
+        match bk r p0 x0 with
+        | () -> ()
+        | exception Found_in_branch witness -> results.(k) <- Some witness
+      in
+      Parallel.Pool.run ~chunk:1 pool ~n:(Array.length branches)
+        ~init:(fun () -> { cliques = 0; expansions = 0 })
+        ~body:run_branch
+        ~merge:(fun l ->
+          stats.maximal_cliques <- stats.maximal_cliques + l.cliques;
+          stats.bk_expansions <- stats.bk_expansions + l.expansions);
+      Array.fold_left
+        (fun acc r -> match acc with Some _ -> acc | None -> r)
+        None results
+    end
+  in
+  stats.clique_time_s <- stats.clique_time_s +. (Unix.gettimeofday () -. t0);
   result
 
 let randomized_failure_bound ?(limit = 2e6) p =

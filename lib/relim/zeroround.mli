@@ -28,11 +28,26 @@ val solvable_mirrored : Problem.t -> Multiset.t option
     iff every group of some node line meets it, which is monotone in
     the pool, so maximal cliques are exhaustive.  The old
     implementation swept all 2^n label subsets with no guard.
+
+    The root of the Bron–Kerbosch tree is unrolled and its independent
+    subtrees fan out over [pool] (default {!Parctl.default}).  Every
+    subtree runs to completion — there is no cross-subtree
+    cancellation — so the verdict, the witness (the DFS-first witness
+    of the lowest-indexed subtree, which is exactly the witness the
+    fully sequential search finds) and the merged counters are
+    identical for every domain count.  Consequence: on solvable
+    instances this explores subtrees beyond the witness-bearing one,
+    so [bk_expansions] / [maximal_cliques] can exceed what a search
+    that stops at the first witness would report.
     @param max_expansions bound on the Bron–Kerbosch recursion-tree
     size (default 10⁶); the number of maximal cliques can be
-    exponential in pathological graphs.
+    exponential in pathological graphs.  The budget is shared across
+    subtrees through an atomic counter, so whether it trips is a
+    property of the instance, not of the schedule.
     @raise Failure when the bound is exceeded. *)
-val solvable_arbitrary_ports : ?max_expansions:int -> Problem.t -> Multiset.t option
+val solvable_arbitrary_ports :
+  ?max_expansions:int -> ?pool:Parallel.Pool.t -> Problem.t ->
+  Multiset.t option
 
 (** [iter_maximal_cliques compat n f] calls [f] on every maximal clique
     of the compatibility graph on labels [0 .. n-1], restricted to
@@ -58,7 +73,10 @@ val self_compatible : Problem.t -> Labelset.t
 
 (** Counters for the clique-based 0-round decider: calls to
     {!solvable_arbitrary_ports}, maximal cliques emitted, Bron–Kerbosch
-    recursion-tree nodes, and CPU seconds spent deciding. *)
+    recursion-tree nodes, and wall seconds spent deciding.  Parallel
+    searches accumulate into per-domain records merged at join, so the
+    integer counters are exact and domain-count-independent (only
+    [clique_time_s] varies run to run). *)
 type stats = {
   mutable clique_calls : int;
   mutable maximal_cliques : int;

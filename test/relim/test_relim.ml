@@ -1805,8 +1805,141 @@ let multiset_ref_qcheck =
           | _ -> false);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The domain pool and the engine's determinism across domain counts   *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let pool = Parallel.Pool.create ~domains:4 in
+  let arr = Array.init 1000 Fun.id in
+  List.iter
+    (fun chunk ->
+      let doubled = Parallel.Pool.map ~chunk pool (fun x -> 2 * x) arr in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map preserves order (chunk=%d)" chunk)
+        (Array.map (fun x -> 2 * x) arr)
+        doubled;
+      let odd_squares =
+        Parallel.Pool.filter_mapi ~chunk pool
+          (fun i x -> if i land 1 = 1 then Some (x * x) else None)
+          arr
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "filter_mapi preserves order (chunk=%d)" chunk)
+        (List.init 500 (fun k ->
+             let i = (2 * k) + 1 in
+             i * i))
+        odd_squares)
+    [ 1; 7; 64; 2048 ];
+  Parallel.Pool.shutdown pool
+
+let test_pool_exception () =
+  let pool = Parallel.Pool.create ~domains:4 in
+  (match
+     Parallel.Pool.map pool
+       (fun x -> if x = 37 then failwith "boom" else x)
+       (Array.init 100 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected the body's Failure to propagate"
+  | exception Failure msg -> check Alcotest.string "failure message" "boom" msg);
+  (* A failed job must not wedge the pool. *)
+  let arr = Array.init 50 Fun.id in
+  Alcotest.(check (array int))
+    "pool reusable after a failure" arr
+    (Parallel.Pool.map pool Fun.id arr);
+  Parallel.Pool.shutdown pool;
+  (* A stopped pool degrades to the sequential path. *)
+  Alcotest.(check (array int))
+    "stopped pool runs sequentially" arr
+    (Parallel.Pool.map pool Fun.id arr)
+
+let test_pool_run_merge () =
+  let pool = Parallel.Pool.create ~domains:3 in
+  let n = 1234 in
+  let total = ref 0 in
+  Parallel.Pool.run ~chunk:5 pool ~n
+    ~init:(fun () -> ref 0)
+    ~body:(fun acc i -> acc := !acc + i)
+    ~merge:(fun acc -> total := !total + !acc);
+  check_int "merged sum is exact" (n * (n - 1) / 2) !total;
+  Parallel.Pool.run Parallel.Pool.sequential ~n:0
+    ~init:(fun () -> ())
+    ~body:(fun () _ -> Alcotest.fail "no items to visit")
+    ~merge:ignore;
+  Parallel.Pool.shutdown pool
+
+(* The headline guarantee: problem, denotations, stats counters and
+   budget verdicts of the parallel hot paths are identical for every
+   domain count.  Wall times and [transport_cache_hits] (hits in
+   per-worker memo tables) are the documented exceptions, so they stay
+   out of the comparison. *)
+let parallel_determinism_qcheck =
+  let gen = QCheck.(pair (int_range 1 1023) (int_range 1 63)) in
+  let rounde_counters () =
+    let s = Rounde.stats in
+    [
+      s.Rounde.r_calls; s.Rounde.closures_visited; s.Rounde.closure_joins;
+      s.Rounde.closure_revisits; s.Rounde.rbar_calls; s.Rounde.rc_sets;
+      s.Rounde.boxes_emitted; s.Rounde.boxes_pruned; s.Rounde.box_dom_checks;
+      s.Rounde.box_dom_cheap_skips; s.Rounde.box_transport_calls;
+    ]
+  in
+  [
+    QCheck.Test.make ~name:"step-identical-across-domain-counts" ~count:40 gen
+      (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            let run pool =
+              Rounde.reset_stats ();
+              match Rounde.step ~pool p with
+              | { Rounde.problem; denotations } ->
+                  Ok
+                    ( Serialize.to_string problem,
+                      Array.to_list denotations,
+                      rounde_counters () )
+              | exception Failure msg -> Error msg
+            in
+            let pool4 = Parallel.Pool.create ~domains:4 in
+            let r1 = run Parallel.Pool.sequential in
+            let r4 = run pool4 in
+            Parallel.Pool.shutdown pool4;
+            (match (r1, r4) with
+            | Ok (s1, d1, c1), Ok (s4, d4, c4) ->
+                String.equal s1 s4 && List.equal Labelset.equal d1 d4 && c1 = c4
+            | Error m1, Error m4 -> String.equal m1 m4
+            | Ok _, Error _ | Error _, Ok _ -> false));
+    QCheck.Test.make ~name:"zeroround-identical-across-domain-counts" ~count:60
+      gen (fun masks ->
+        match random_problem masks with
+        | None -> true
+        | Some p ->
+            let run pool =
+              Zeroround.reset_stats ();
+              let witness = Zeroround.solvable_arbitrary_ports ~pool p in
+              let s = Zeroround.stats in
+              ( Option.map Multiset.to_list witness,
+                [
+                  s.Zeroround.clique_calls; s.Zeroround.maximal_cliques;
+                  s.Zeroround.bk_expansions;
+                ] )
+            in
+            let pool4 = Parallel.Pool.create ~domains:4 in
+            let r1 = run Parallel.Pool.sequential in
+            let r4 = run pool4 in
+            Parallel.Pool.shutdown pool4;
+            r1 = r4);
+  ]
+
 let extra_suites =
   [
+    ( "parallel-pool",
+      [
+        Alcotest.test_case "map/filter_mapi order" `Quick test_pool_map_order;
+        Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+        Alcotest.test_case "run merge exactness" `Quick test_pool_run_merge;
+      ] );
+    qsuite "parallel-determinism-props" parallel_determinism_qcheck;
     ( "simplify",
       [
         Alcotest.test_case "merge" `Quick test_simplify_merge;

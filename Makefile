@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke clean
+.PHONY: all build test check bench bench-smoke fuzz-smoke examples-smoke clean
 
 all: build
 
@@ -25,6 +25,24 @@ bench-smoke:
 	dune build bench
 	dune exec bench/main.exe -- relim_perf
 	dune exec bench/validate_json.exe -- --require-meta BENCH_relim.json
+
+# Differential fuzzing smoke, pinned and CI-sized (well under 30s): 500
+# random problems through the optimized pipeline with every output
+# re-checked by the independent certifiers in lib/certify (including the
+# sequential-vs-2-domain step comparison and the simulator cross-check
+# of 0-round verdicts), plus the harness self-test, which injects an
+# engine fault and requires it to be caught and shrunk.
+fuzz-smoke:
+	dune build bin
+	dune exec bin/certify_fuzz.exe -- --count 500 --seed 2026
+	dune exec bin/certify_fuzz.exe -- --count 25 --self-test --domains 1
+
+# Compile and run the examples (they also run under `dune runtest`; this
+# target gives CI an explicit, separately-reported leg).
+examples-smoke:
+	dune build examples
+	dune exec examples/quickstart.exe > /dev/null
+	dune exec examples/problem_zoo.exe > /dev/null
 
 clean:
 	dune clean

@@ -1058,6 +1058,36 @@ let relim_perf () =
      output: %b, identical counters: %b@."
     speedup_runs (1e3 *. wall_1) speedup_domains (1e3 *. wall_n)
     (wall_1 /. wall_n) cores_available identical_output identical_counters;
+  (* Certifier overhead: the Pi(5,4,2) pipeline run (step 1 plus the
+     budget-stopped step 2) with the independent certificate checkers
+     (lib/certify) re-deriving every R / Rbar output from the
+     definitions, vs the plain engine run. *)
+  let certified_pipeline () =
+    let rec go q i =
+      if i <= 2 then
+        match Relim.Rounde.step ~pool:Parallel.Pool.sequential q with
+        | d -> go (Relim.Simplify.normalize d.Relim.Rounde.problem) (i + 1)
+        | exception Failure _ -> ()
+    in
+    go pi5_first 1
+  in
+  let t0 = Unix.gettimeofday () in
+  certified_pipeline ();
+  let plain_s = Unix.gettimeofday () -. t0 in
+  Certify.Check.reset_stats ();
+  let t0 = Unix.gettimeofday () in
+  Certify.Hooks.with_hooks certified_pipeline;
+  let certified_s = Unix.gettimeofday () -. t0 in
+  let cert = Certify.Check.stats in
+  result
+    "@.certifier overhead on the Pi(5,4,2) pipeline: plain %.3f ms, \
+     certified %.3f ms (%.2fx); %d R + %d Rbar certificates, %d sub-check(s) \
+     skipped on budget, %.3f ms inside the checkers@."
+    (1e3 *. plain_s) (1e3 *. certified_s)
+    (certified_s /. plain_s)
+    cert.Certify.Check.r_certified cert.Certify.Check.rbar_certified
+    cert.Certify.Check.skipped_subchecks
+    (1e3 *. cert.Certify.Check.time_s);
   (* JSON dump. *)
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"bench\": \"relim\",\n";
@@ -1121,6 +1151,16 @@ let relim_perf () =
         \"identical_counters\": %b },\n"
        speedup_runs speedup_domains wall_1 wall_n (wall_1 /. wall_n)
        identical_output identical_counters);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"certifier_overhead\": { \"problem\": \"Pi(5,4,2) pipeline\", \
+        \"plain_s\": %.6f, \"certified_s\": %.6f, \"overhead_factor\": %.3f, \
+        \"r_certified\": %d, \"rbar_certified\": %d, \"skipped_subchecks\": \
+        %d, \"check_time_s\": %.6f },\n"
+       plain_s certified_s
+       (certified_s /. plain_s)
+       cert.Certify.Check.r_certified cert.Certify.Check.rbar_certified
+       cert.Certify.Check.skipped_subchecks cert.Certify.Check.time_s);
   Buffer.add_string buf
     (Printf.sprintf
        "  \"fixedpoint_cache_so_delta3\": {\n\

@@ -60,6 +60,33 @@ let domains_t =
 let pool_of_domains d =
   if d >= 1 then Some (Parallel.Pool.create ~domains:d) else None
 
+let certify_t =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Re-check every R / Rbar output, 0-round verdict and fixed point \
+           against the definitions with the independent certificate checker \
+           (lib/certify) while the command runs; a divergence aborts with a \
+           Violation.  Also enabled by RELIM_CERTIFY=1.")
+
+(* Run [f] with the certificate checkers installed when requested,
+   printing a one-line certification summary afterwards. *)
+let with_certify certify f =
+  if certify || Certify.Hooks.enabled_in_env () then begin
+    Certify.Check.reset_stats ();
+    let result = Certify.Hooks.with_hooks f in
+    let s = Certify.Check.stats in
+    Format.eprintf
+      "certified: %d R steps, %d Rbar steps, %d zero-round verdicts, %d \
+       fixed points (%d sub-checks skipped on budget, %.3fs)@."
+      s.Certify.Check.r_certified s.Certify.Check.rbar_certified
+      s.Certify.Check.zero_certified s.Certify.Check.fixed_points_certified
+      s.Certify.Check.skipped_subchecks s.Certify.Check.time_s;
+    result
+  end
+  else f ()
+
 (* ---- show ---- *)
 
 let show preset delta a x node edge diagrams =
@@ -82,19 +109,20 @@ let show_cmd =
 
 (* ---- step ---- *)
 
-let step preset delta a x node edge steps domains =
+let step preset delta a x node edge steps domains certify =
   let pool = pool_of_domains domains in
   let p = ref (preset_problem preset delta a x node edge) in
   Format.printf "%a@." Relim.Problem.pp !p;
-  (try
-     for i = 1 to steps do
-       let { Relim.Rounde.problem = next; _ } = Relim.Rounde.step ?pool !p in
-       p := next;
-       Format.printf "@.after speedup step %d (%d labels):@.%a@." i
-         (Relim.Problem.label_count next)
-         Relim.Problem.pp next
-     done
-   with Failure msg -> Format.printf "@.stopped: %s@." msg)
+  with_certify certify (fun () ->
+      try
+        for i = 1 to steps do
+          let { Relim.Rounde.problem = next; _ } = Relim.Rounde.step ?pool !p in
+          p := next;
+          Format.printf "@.after speedup step %d (%d labels):@.%a@." i
+            (Relim.Problem.label_count next)
+            Relim.Problem.pp next
+        done
+      with Failure msg -> Format.printf "@.stopped: %s@." msg)
 
 let step_cmd =
   let steps_t =
@@ -104,33 +132,35 @@ let step_cmd =
     (Cmd.info "step" ~doc:"Apply round-elimination speedup steps (Rbar o R)")
     Term.(
       const step $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t
-      $ domains_t)
+      $ domains_t $ certify_t)
 
 (* ---- zero-round ---- *)
 
-let zero_round preset delta a x node edge domains =
+let zero_round preset delta a x node edge domains certify =
   let pool = pool_of_domains domains in
   let p = preset_problem preset delta a x node edge in
-  (match Relim.Zeroround.solvable_mirrored p with
-  | Some w ->
-      Format.printf "0-round solvable under mirrored ports, witness: %s@."
-        (Relim.Multiset.to_string p.alpha w)
-  | None -> Format.printf "NOT 0-round solvable under mirrored ports@.");
-  (match Relim.Zeroround.solvable_arbitrary_ports ?pool p with
-  | Some w ->
-      Format.printf "0-round solvable under arbitrary ports, witness: %s@."
-        (Relim.Multiset.to_string p.alpha w)
-  | None -> Format.printf "NOT 0-round solvable under arbitrary ports@.");
-  match Relim.Zeroround.randomized_failure_bound p with
-  | Some b -> Format.printf "randomized 0-round failure probability >= %g@." b
-  | None -> ()
+  with_certify certify (fun () ->
+      (match Relim.Zeroround.solvable_mirrored p with
+      | Some w ->
+          Format.printf "0-round solvable under mirrored ports, witness: %s@."
+            (Relim.Multiset.to_string p.alpha w)
+      | None -> Format.printf "NOT 0-round solvable under mirrored ports@.");
+      (match Relim.Zeroround.solvable_arbitrary_ports ?pool p with
+      | Some w ->
+          Format.printf "0-round solvable under arbitrary ports, witness: %s@."
+            (Relim.Multiset.to_string p.alpha w)
+      | None -> Format.printf "NOT 0-round solvable under arbitrary ports@.");
+      match Relim.Zeroround.randomized_failure_bound p with
+      | Some b ->
+          Format.printf "randomized 0-round failure probability >= %g@." b
+      | None -> ())
 
 let zero_round_cmd =
   Cmd.v
     (Cmd.info "zero-round" ~doc:"Decide 0-round solvability in the PN model")
     Term.(
       const zero_round $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
-      $ domains_t)
+      $ domains_t $ certify_t)
 
 (* ---- chain ---- *)
 
@@ -251,9 +281,10 @@ let load_cmd =
 
 (* ---- upper-bound ---- *)
 
-let upper_bound preset delta a x node edge max_steps domains =
+let upper_bound preset delta a x node edge max_steps domains certify =
   let pool = pool_of_domains domains in
   let p = preset_problem preset delta a x node edge in
+  with_certify certify @@ fun () ->
   match Relim.Upperbound.search ~max_steps ?pool p with
   | Relim.Upperbound.Solvable_in k ->
       Format.printf
@@ -270,13 +301,14 @@ let upper_bound_cmd =
     (Cmd.info "upper-bound" ~doc:"Search for an upper bound by iterated speedup")
     Term.(
       const upper_bound $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
-      $ steps_t $ domains_t)
+      $ steps_t $ domains_t $ certify_t)
 
 (* ---- fixed-point ---- *)
 
-let fixed_point preset delta a x node edge max_steps domains =
+let fixed_point preset delta a x node edge max_steps domains certify =
   let pool = pool_of_domains domains in
   let p = preset_problem preset delta a x node edge in
+  with_certify certify @@ fun () ->
   match Relim.Fixedpoint.detect ~max_steps ?pool p with
   | Relim.Fixedpoint.Fixed_point (p0, _) ->
       Format.printf "the problem is itself a fixed point of Rbar o R:@.%a@."
@@ -302,7 +334,7 @@ let fixed_point_cmd =
     (Cmd.info "fixed-point" ~doc:"Search for a round-elimination fixed point")
     Term.(
       const fixed_point $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
-      $ steps_t $ domains_t)
+      $ steps_t $ domains_t $ certify_t)
 
 (* ---- certify ---- *)
 
@@ -409,4 +441,8 @@ let main_cmd =
       dot_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* RELIM_CERTIFY=1 certifies engine calls from any subcommand, even
+     those without a --certify flag (lemmas, verify-all, chain, ...). *)
+  Certify.Hooks.install_if_env ();
+  exit (Cmd.eval main_cmd)

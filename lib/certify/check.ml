@@ -1,0 +1,470 @@
+open Relim
+
+exception Violation of string
+
+type stats = {
+  mutable r_certified : int;
+  mutable rbar_certified : int;
+  mutable zero_certified : int;
+  mutable fixed_points_certified : int;
+  mutable skipped_subchecks : int;
+  mutable time_s : float;
+}
+
+let stats =
+  {
+    r_certified = 0;
+    rbar_certified = 0;
+    zero_certified = 0;
+    fixed_points_certified = 0;
+    skipped_subchecks = 0;
+    time_s = 0.;
+  }
+
+let reset_stats () =
+  stats.r_certified <- 0;
+  stats.rbar_certified <- 0;
+  stats.zero_certified <- 0;
+  stats.fixed_points_certified <- 0;
+  stats.skipped_subchecks <- 0;
+  stats.time_s <- 0.
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+(* Budget machinery for the exhaustive sub-checks: [guarded] runs [f]
+   with a [charge] function; if the accumulated charge exceeds the
+   budget the sub-check is abandoned and counted as skipped.  A skipped
+   sub-check makes the certificate partial, never wrong. *)
+exception Skipped
+
+let guarded budget f =
+  let used = ref 0 in
+  let charge k =
+    used := !used + k;
+    if !used > budget then raise Skipped
+  in
+  try f charge
+  with Skipped -> stats.skipped_subchecks <- stats.skipped_subchecks + 1
+
+(* Only the outermost check accumulates wall time: a fixed-point
+   replay re-enters [check_r]/[check_rbar] through the engine
+   observers, and their time is already inside the replay's. *)
+let depth = ref 0
+
+let timed f =
+  if !depth > 0 then f ()
+  else begin
+    incr depth;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        decr depth;
+        stats.time_s <- stats.time_s +. (Unix.gettimeofday () -. t0))
+      f
+  end
+
+(* Edge-compatibility matrix, derived definitionally by expanding the
+   edge constraint into its concrete pairs (no diagram, no masks). *)
+let edge_compat (p : Problem.t) =
+  let n = Problem.label_count p in
+  let compat = Array.make_matrix n n false in
+  List.iter
+    (fun m ->
+      match Multiset.to_list m with
+      | [ a; b ] ->
+          compat.(a).(b) <- true;
+          compat.(b).(a) <- true
+      | _ -> fail "%s: edge constraint has a line of arity <> 2" p.Problem.name)
+    (Constr.expand p.edge);
+  compat
+
+(* Shared shape checks on a [denoted] result: denotations must be
+   distinct non-empty subsets of the source alphabet, one per output
+   label, and every output label must occur in the node constraint. *)
+let check_denotations ~what ~source (d : Rounde.denoted) =
+  let p' = d.Rounde.problem in
+  let n = Problem.label_count source in
+  let n' = Problem.label_count p' in
+  let denots = d.Rounde.denotations in
+  if Array.length denots <> n' then
+    fail "%s: %d denotations for %d output labels" what (Array.length denots) n';
+  let full = Labelset.full n in
+  Array.iteri
+    (fun i s ->
+      if Labelset.is_empty s then fail "%s: denotation of label %d is empty" what i;
+      if not (Labelset.subset s full) then
+        fail "%s: denotation of label %d leaves the source alphabet" what i)
+    denots;
+  Array.iteri
+    (fun i si ->
+      Array.iteri
+        (fun j sj ->
+          if i < j && Labelset.equal si sj then
+            fail "%s: labels %d and %d share a denotation" what i j)
+        denots)
+    denots
+
+(* Concrete (i, j) label pairs denoted by an edge constraint,
+   deduplicated, with i <= j. *)
+let edge_pairs ~what (c : Constr.t) =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      Line.expand line (fun m ->
+          match Multiset.to_list m with
+          | [ i; j ] -> Hashtbl.replace seen (i, j) ()
+          | _ -> fail "%s: edge line of arity <> 2" what))
+    (Constr.lines c);
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+(* All multisets of size [size] over labels [0 .. n-1], in
+   non-decreasing label order; [charge]d one unit each. *)
+let iter_multisets ~charge n size f =
+  let rec go lo acc k =
+    if k = 0 then begin
+      charge 1;
+      f (Multiset.of_list acc)
+    end
+    else
+      for l = lo to n - 1 do
+        go l (l :: acc) (k - 1)
+      done
+  in
+  go 0 [] size
+
+(* ------------------------------------------------------------------ *)
+(* R                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_r ?(work_budget = 2_000_000) ~source:(p : Problem.t) (d : Rounde.denoted)
+    =
+  timed @@ fun () ->
+  let p' = d.Rounde.problem in
+  let what = Printf.sprintf "R certificate (%s)" p.Problem.name in
+  let n = Problem.label_count p in
+  let delta = Problem.delta p in
+  if Problem.delta p' <> delta then
+    fail "%s: node arity changed from %d to %d" what delta (Problem.delta p');
+  check_denotations ~what ~source:p d;
+  let denots = d.Rounde.denotations in
+  let compat = edge_compat p in
+  let all_cross a b =
+    Labelset.for_all (fun x -> Labelset.for_all (fun y -> compat.(x).(y)) b) a
+  in
+  let pairs = edge_pairs ~what p'.Problem.edge in
+  (* Validity: every choice across every emitted pair is compatible. *)
+  List.iter
+    (fun (i, j) ->
+      if not (all_cross denots.(i) denots.(j)) then
+        fail "%s: emitted pair (%s, %s) has an incompatible choice" what
+          (Alphabet.set_name p.Problem.alpha denots.(i))
+          (Alphabet.set_name p.Problem.alpha denots.(j)))
+    pairs;
+  (* Maximality: no source label can be added to either side. *)
+  let side_extendable side other =
+    let candidate = ref None in
+    for z = 0 to n - 1 do
+      if
+        !candidate = None
+        && (not (Labelset.mem z side))
+        && Labelset.for_all (fun y -> compat.(z).(y)) other
+      then candidate := Some z
+    done;
+    !candidate
+  in
+  List.iter
+    (fun (i, j) ->
+      let complain z si sj =
+        fail "%s: pair (%s, %s) is not maximal — label %s can join the first side"
+          what
+          (Alphabet.set_name p.Problem.alpha si)
+          (Alphabet.set_name p.Problem.alpha sj)
+          (Alphabet.name p.Problem.alpha z)
+      in
+      (match side_extendable denots.(i) denots.(j) with
+      | Some z -> complain z denots.(i) denots.(j)
+      | None -> ());
+      match side_extendable denots.(j) denots.(i) with
+      | Some z -> complain z denots.(j) denots.(i)
+      | None -> ())
+    pairs;
+  (* Completeness: every valid pair must be dominated by an emitted
+     one.  Any valid (A, B) satisfies B ⊆ N(A), so scanning the pairs
+     (S, N(S)) over all non-empty subsets S is exhaustive.  2^n scan,
+     budget-guarded. *)
+  guarded work_budget (fun charge ->
+      charge ((1 lsl n) * n);
+      for bits = 1 to (1 lsl n) - 1 do
+        let s = Labelset.of_bits bits in
+        let b = ref Labelset.empty in
+        for y = 0 to n - 1 do
+          if Labelset.for_all (fun x -> compat.(x).(y)) s then
+            b := Labelset.add y !b
+        done;
+        let b = !b in
+        if not (Labelset.is_empty b) then begin
+          let dominated =
+            List.exists
+              (fun (i, j) ->
+                (Labelset.subset s denots.(i) && Labelset.subset b denots.(j))
+                || (Labelset.subset s denots.(j) && Labelset.subset b denots.(i)))
+              pairs
+          in
+          if not dominated then
+            fail "%s: valid pair (%s, %s) is dominated by no emitted pair" what
+              (Alphabet.set_name p.Problem.alpha s)
+              (Alphabet.set_name p.Problem.alpha b)
+        end
+      done);
+  (* Node constraint: extensionally, a configuration over new labels is
+     allowed iff some choice of representatives (one source label from
+     each denotation) is an allowed source configuration. *)
+  guarded work_budget (fun charge ->
+      let est = Constr.expansion_estimate p'.Problem.node in
+      if est > float_of_int work_budget then raise Skipped;
+      let allowed = Hashtbl.create 256 in
+      List.iter
+        (fun m -> Hashtbl.replace allowed m ())
+        (Constr.expand p'.Problem.node);
+      let n' = Problem.label_count p' in
+      let rec has_choice acc = function
+        | [] -> Constr.mem p.Problem.node (Multiset.of_list acc)
+        | l :: rest ->
+            charge (Labelset.cardinal denots.(l));
+            Labelset.exists (fun x -> has_choice (x :: acc) rest) denots.(l)
+      in
+      iter_multisets ~charge n' delta (fun m ->
+          let emitted = Hashtbl.mem allowed m in
+          let expected = has_choice [] (Multiset.to_list m) in
+          if emitted && not expected then
+            fail "%s: node configuration %s has no allowed choice of \
+                  representatives"
+              what
+              (Multiset.to_string p'.Problem.alpha m)
+          else if expected && not emitted then
+            fail "%s: node configuration %s admits an allowed choice but is \
+                  not in the node constraint"
+              what
+              (Multiset.to_string p'.Problem.alpha m)));
+  stats.r_certified <- stats.r_certified + 1
+
+(* ------------------------------------------------------------------ *)
+(* R̄                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Injective matching of every set of [bi] into a (weak) superset in
+   [bj], by plain backtracking — written from scratch; the engine's
+   transportation solver is never consulted. *)
+let box_dominated bi bj =
+  let d = Array.length bj in
+  let used = Array.make d false in
+  let rec go = function
+    | [] -> true
+    | s :: rest ->
+        let rec try_slot j =
+          if j >= d then false
+          else if (not used.(j)) && Labelset.subset s bj.(j) then begin
+            used.(j) <- true;
+            if go rest then true
+            else begin
+              used.(j) <- false;
+              try_slot (j + 1)
+            end
+          end
+          else try_slot (j + 1)
+        in
+        try_slot 0
+  in
+  go (Array.to_list bi)
+
+let check_rbar ?(work_budget = 2_000_000) ~source:(p : Problem.t)
+    (d : Rounde.denoted) =
+  timed @@ fun () ->
+  let p'' = d.Rounde.problem in
+  let what = Printf.sprintf "Rbar certificate (%s)" p.Problem.name in
+  let delta = Problem.delta p in
+  if Problem.delta p'' <> delta then
+    fail "%s: node arity changed from %d to %d" what delta (Problem.delta p'');
+  check_denotations ~what ~source:p d;
+  let denots = d.Rounde.denotations in
+  let compat = edge_compat p in
+  let pp_set = Alphabet.set_name p.Problem.alpha in
+  (* Boxes: the concrete node configurations of the output, with each
+     output label replaced by its denotation. *)
+  let boxes =
+    let acc = ref [] in
+    List.iter
+      (fun line ->
+        Line.expand line (fun m ->
+            acc :=
+              Array.of_list (List.map (fun l -> denots.(l)) (Multiset.to_list m))
+              :: !acc))
+      (Constr.lines p''.Problem.node);
+    Array.of_list (List.rev !acc)
+  in
+  let pp_box b =
+    String.concat " " (List.map pp_set (Array.to_list b))
+  in
+  (* Validity + per-position maximality of every box. *)
+  guarded work_budget (fun charge ->
+      let n = Problem.label_count p in
+      Array.iter
+        (fun box ->
+          let d_ = Array.length box in
+          (* Every choice b1 ∈ B1, …, bΔ ∈ BΔ is allowed. *)
+          let rec all_choices acc k =
+            if k = d_ then begin
+              charge 1;
+              if not (Constr.mem p.Problem.node (Multiset.of_list acc)) then
+                fail "%s: box [%s] has the disallowed choice %s" what
+                  (pp_box box)
+                  (Multiset.to_string p.Problem.alpha (Multiset.of_list acc))
+            end
+            else Labelset.iter (fun x -> all_choices (x :: acc) (k + 1)) box.(k)
+          in
+          all_choices [] 0;
+          (* No label can be added at any position: extending position k
+             by z must create some disallowed choice. *)
+          let rec some_bad_choice acc k skip z =
+            if k = d_ then begin
+              charge 1;
+              not (Constr.mem p.Problem.node (Multiset.of_list (z :: acc)))
+            end
+            else if k = skip then some_bad_choice acc (k + 1) skip z
+            else
+              Labelset.exists
+                (fun x -> some_bad_choice (x :: acc) (k + 1) skip z)
+                box.(k)
+          in
+          for k = 0 to d_ - 1 do
+            for z = 0 to n - 1 do
+              if not (Labelset.mem z box.(k)) then
+                if not (some_bad_choice [] 0 k z) then
+                  fail "%s: box [%s] is not maximal — label %s fits at \
+                        position %d"
+                    what (pp_box box)
+                    (Alphabet.name p.Problem.alpha z)
+                    k
+            done
+          done)
+        boxes);
+  (* No box is dominated by (injectively embeds set-wise into) another. *)
+  guarded work_budget (fun charge ->
+      let nb = Array.length boxes in
+      charge (nb * nb * delta);
+      for i = 0 to nb - 1 do
+        for j = 0 to nb - 1 do
+          if i <> j && box_dominated boxes.(i) boxes.(j) then
+            fail "%s: box [%s] is dominated by box [%s]" what (pp_box boxes.(i))
+              (pp_box boxes.(j))
+        done
+      done);
+  (* Coverage: every allowed source configuration must embed into some
+     box (the singleton box it induces is valid, hence must be
+     dominated by an emitted one). *)
+  guarded work_budget (fun charge ->
+      let est = Constr.expansion_estimate p.Problem.node in
+      if est > float_of_int work_budget then raise Skipped;
+      List.iter
+        (fun m ->
+          charge (Array.length boxes);
+          let singletons =
+            Array.of_list
+              (List.map Labelset.singleton (Multiset.to_list m))
+          in
+          if
+            not
+              (Array.exists (fun box -> box_dominated singletons box) boxes)
+          then
+            fail "%s: allowed configuration %s is covered by no box" what
+              (Multiset.to_string p.Problem.alpha m))
+        (Constr.expand p.Problem.node));
+  (* Edge constraint: exactly the pairs of used sets with a compatible
+     choice. *)
+  let n'' = Problem.label_count p'' in
+  let pairs = edge_pairs ~what p''.Problem.edge in
+  let has_pair =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun ij -> Hashtbl.replace tbl ij ()) pairs;
+    fun i j -> Hashtbl.mem tbl (min i j, max i j)
+  in
+  for i = 0 to n'' - 1 do
+    for j = i to n'' - 1 do
+      let compatible_choice =
+        Labelset.exists
+          (fun a -> Labelset.exists (fun b -> compat.(a).(b)) denots.(j))
+          denots.(i)
+      in
+      if compatible_choice && not (has_pair i j) then
+        fail "%s: sets %s and %s admit a compatible choice but the pair is \
+              missing from the edge constraint"
+          what (pp_set denots.(i)) (pp_set denots.(j))
+      else if (not compatible_choice) && has_pair i j then
+        fail "%s: emitted edge pair (%s, %s) admits no compatible choice" what
+          (pp_set denots.(i)) (pp_set denots.(j))
+    done
+  done;
+  stats.rbar_certified <- stats.rbar_certified + 1
+
+(* ------------------------------------------------------------------ *)
+(* 0-round verdicts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_zero_round ?(expand_limit = 2e6) ~mode (p : Problem.t)
+    (verdict : Multiset.t option) =
+  timed @@ fun () ->
+  let what =
+    Printf.sprintf "0-round certificate (%s, %s ports)" p.Problem.name
+      (match mode with `Mirrored -> "mirrored" | `Arbitrary -> "arbitrary")
+  in
+  let compat = edge_compat p in
+  let usable m =
+    match mode with
+    | `Mirrored -> List.for_all (fun l -> compat.(l).(l)) (Multiset.to_list m)
+    | `Arbitrary ->
+        let sup = Labelset.elements (Multiset.support m) in
+        List.for_all (fun a -> List.for_all (fun b -> compat.(a).(b)) sup) sup
+  in
+  (match verdict with
+  | Some w ->
+      if Multiset.size w <> Problem.delta p then
+        fail "%s: witness %s has arity %d, expected %d" what
+          (Multiset.to_string p.Problem.alpha w)
+          (Multiset.size w) (Problem.delta p);
+      if not (Constr.mem p.Problem.node w) then
+        fail "%s: witness %s is not an allowed node configuration" what
+          (Multiset.to_string p.Problem.alpha w);
+      if not (usable w) then
+        fail "%s: witness %s fails the port-compatibility requirement" what
+          (Multiset.to_string p.Problem.alpha w)
+  | None ->
+      guarded max_int (fun _charge ->
+          if Constr.expansion_estimate p.Problem.node > expand_limit then
+            raise Skipped;
+          List.iter
+            (fun m ->
+              if usable m then
+                fail "%s: engine claims unsolvable, but configuration %s is a \
+                      valid witness"
+                  what
+                  (Multiset.to_string p.Problem.alpha m))
+            (Constr.expand ~limit:expand_limit p.Problem.node)));
+  stats.zero_certified <- stats.zero_certified + 1
+
+(* ------------------------------------------------------------------ *)
+(* Fixed points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_fixed_point (p : Problem.t) =
+  timed @@ fun () ->
+  let { Rounde.problem = next; _ } =
+    Rounde.step ~pool:Parallel.Pool.sequential p
+  in
+  let next = Simplify.normalize next in
+  let claimed = Simplify.normalize p in
+  if not (Iso.equal_up_to_renaming next claimed) then
+    fail
+      "fixed-point certificate (%s): a fresh sequential replay of the speedup \
+       step is not isomorphic to the claimed fixed point"
+      p.Problem.name;
+  stats.fixed_points_certified <- stats.fixed_points_certified + 1

@@ -1,0 +1,204 @@
+open Relim
+
+type outcome = Passed | Skipped of string | Failed of string
+
+type reproducer = {
+  message : string;
+  problem : Problem.t;
+  rendered : string;
+  roundtrip_ok : bool;
+}
+
+type report = {
+  mutable runs : int;
+  mutable passed : int;
+  mutable skipped : int;
+  mutable reproducers : reproducer list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_problem ?(max_labels = 4) ?(max_delta = 3) rng =
+  let n = 1 + Random.State.int rng max_labels in
+  let delta = 1 + Random.State.int rng max_delta in
+  let names =
+    List.init n (fun i -> String.make 1 (Char.chr (Char.code 'A' + i)))
+  in
+  let alpha = Alphabet.create names in
+  let rand_set () =
+    Labelset.of_bits (1 + Random.State.int rng ((1 lsl n) - 1))
+  in
+  let rand_line arity =
+    Line.make (List.init arity (fun _ -> (rand_set (), 1)))
+  in
+  let node_lines =
+    List.init (1 + Random.State.int rng 3) (fun _ -> rand_line delta)
+  in
+  let edge_lines =
+    List.init (1 + Random.State.int rng 2) (fun _ -> rand_line 2)
+  in
+  Problem.make ~name:"fuzz" ~alpha ~node:(Constr.make node_lines)
+    ~edge:(Constr.make edge_lines)
+
+(* ------------------------------------------------------------------ *)
+(* One iteration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_one ?mutate_r ?pool ?(sim_seed = 0) (p : Problem.t) =
+  match
+    let d1 = Rounde.r p in
+    let d1 = match mutate_r with None -> d1 | Some f -> f d1 in
+    Check.check_r ~source:p d1;
+    let d2 = Rounde.rbar ~pool:Parallel.Pool.sequential d1.Rounde.problem in
+    Check.check_rbar ~source:d1.Rounde.problem d2;
+    (match pool with
+    | None -> ()
+    | Some pool ->
+        let s1 = Rounde.step ~pool:Parallel.Pool.sequential p in
+        let s2 = Rounde.step ~pool p in
+        let r1 = Serialize.to_string s1.Rounde.problem in
+        let r2 = Serialize.to_string s2.Rounde.problem in
+        if r1 <> r2 then
+          raise
+            (Check.Violation
+               (Printf.sprintf
+                  "Fuzz: Rounde.step differs between 1 and %d domains on \
+                   %s:\n%s\n--- vs ---\n%s"
+                  (Parallel.Pool.domains pool)
+                  p.Problem.name r1 r2)));
+    let vm = Zeroround.solvable_mirrored p in
+    Check.check_zero_round ~mode:`Mirrored p vm;
+    Simcheck.cross_check ~mode:`Mirrored ~seed:sim_seed p vm;
+    let va =
+      Zeroround.solvable_arbitrary_ports ~pool:Parallel.Pool.sequential p
+    in
+    Check.check_zero_round ~mode:`Arbitrary p va;
+    Simcheck.cross_check ~mode:`Arbitrary ~seed:sim_seed p va
+  with
+  | () -> Passed
+  | exception Check.Violation m -> Failed m
+  | exception Failure m -> Skipped m
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove label [l] from a constraint: strip it from every group,
+   dropping lines where a group empties.  [None] when nothing is
+   left. *)
+let constr_without_label l c =
+  let lines =
+    List.filter_map
+      (fun line ->
+        match Line.map_syms (Labelset.remove l) line with
+        | line -> Some line
+        | exception Invalid_argument _ -> None)
+      (Constr.lines c)
+  in
+  match lines with [] -> None | _ -> Some (Constr.make lines)
+
+let without_label (p : Problem.t) l =
+  match
+    (constr_without_label l p.Problem.node, constr_without_label l p.Problem.edge)
+  with
+  | Some node, Some edge ->
+      Some (Problem.make ~name:p.Problem.name ~alpha:p.Problem.alpha ~node ~edge)
+  | _ -> None
+
+let without_line (p : Problem.t) which i =
+  let drop c =
+    let lines = Constr.lines c in
+    if List.length lines <= 1 then None
+    else Some (Constr.make (List.filteri (fun j _ -> j <> i) lines))
+  in
+  match which with
+  | `Node ->
+      Option.map
+        (fun node ->
+          Problem.make ~name:p.Problem.name ~alpha:p.Problem.alpha ~node
+            ~edge:p.Problem.edge)
+        (drop p.Problem.node)
+  | `Edge ->
+      Option.map
+        (fun edge ->
+          Problem.make ~name:p.Problem.name ~alpha:p.Problem.alpha
+            ~node:p.Problem.node ~edge)
+        (drop p.Problem.edge)
+
+let shrink ~fails p =
+  let candidates p =
+    let labels =
+      Labelset.elements
+        (Labelset.union
+           (Constr.support p.Problem.node)
+           (Constr.support p.Problem.edge))
+    in
+    List.filter_map (without_label p) labels
+    @ List.filter_map
+        (without_line p `Node)
+        (List.init (List.length (Constr.lines p.Problem.node)) Fun.id)
+    @ List.filter_map
+        (without_line p `Edge)
+        (List.init (List.length (Constr.lines p.Problem.edge)) Fun.id)
+  in
+  let rec go p =
+    match List.find_opt (fun q -> fails q <> None) (candidates p) with
+    | Some q -> go q
+    | None -> p
+  in
+  go p
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run ?mutate_r ?(count = 100) ?(seed = 2026) ?(max_labels = 4)
+    ?(max_delta = 3) ?(domains = 2) () =
+  let rng = Random.State.make [| seed |] in
+  let pool =
+    if domains > 1 then Some (Parallel.Pool.create ~domains) else None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Parallel.Pool.shutdown pool)
+  @@ fun () ->
+  let report = { runs = 0; passed = 0; skipped = 0; reproducers = [] } in
+  for i = 0 to count - 1 do
+    let p = gen_problem ~max_labels ~max_delta rng in
+    report.runs <- report.runs + 1;
+    match run_one ?mutate_r ?pool ~sim_seed:i p with
+    | Passed -> report.passed <- report.passed + 1
+    | Skipped _ -> report.skipped <- report.skipped + 1
+    | Failed _ ->
+        let fails q =
+          match run_one ?mutate_r ?pool ~sim_seed:i q with
+          | Failed m -> Some m
+          | Passed | Skipped _ -> None
+        in
+        let shrunk = Problem.trim (shrink ~fails p) in
+        let message =
+          match fails shrunk with Some m -> m | None -> "(unstable failure)"
+        in
+        let rendered = Serialize.to_string shrunk in
+        let roundtrip_ok =
+          match Serialize.of_string rendered with
+          | q -> Iso.equal_up_to_renaming q shrunk
+          | exception _ -> false
+        in
+        report.reproducers <-
+          { message; problem = shrunk; rendered; roundtrip_ok }
+          :: report.reproducers
+  done;
+  report.reproducers <- List.rev report.reproducers;
+  report
+
+let pp_report ppf r =
+  Format.fprintf ppf "fuzz: %d runs, %d passed, %d skipped, %d violations@."
+    r.runs r.passed r.skipped
+    (List.length r.reproducers);
+  List.iteri
+    (fun i rep ->
+      Format.fprintf ppf "@.--- reproducer %d (round-trip %s) ---@.%s@.%s@." i
+        (if rep.roundtrip_ok then "ok" else "BROKEN")
+        rep.message rep.rendered)
+    r.reproducers

@@ -1,0 +1,38 @@
+let env_var = "RELIM_CERTIFY"
+
+let installed_flag = ref false
+
+let install () =
+  if not !installed_flag then begin
+    installed_flag := true;
+    Relim.Rounde.observer :=
+      Some
+        (fun ~op ~source result ->
+          match op with
+          | `R -> Check.check_r ~source result
+          | `Rbar -> Check.check_rbar ~source result);
+    Relim.Zeroround.observer :=
+      Some (fun ~mode p verdict -> Check.check_zero_round ~mode p verdict);
+    Relim.Fixedpoint.fixed_point_observer :=
+      Some (fun p -> Check.check_fixed_point p)
+  end
+
+let uninstall () =
+  installed_flag := false;
+  Relim.Rounde.observer := None;
+  Relim.Zeroround.observer := None;
+  Relim.Fixedpoint.fixed_point_observer := None
+
+let installed () = !installed_flag
+
+let enabled_in_env () =
+  match Sys.getenv_opt env_var with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let install_if_env () = if enabled_in_env () then install ()
+
+let with_hooks f =
+  let was = !installed_flag in
+  install ();
+  Fun.protect ~finally:(fun () -> if not was then uninstall ()) f

@@ -27,6 +27,16 @@ let reset_stats () =
   stats.step_time_s <- 0.;
   stats.normalize_time_s <- 0.
 
+(* Fired with the fixed problem whenever [detect] confirms a fixed
+   point (immediate or eventual).  Installed by [Certify.Hooks], whose
+   checker replays one sequential speedup step from scratch — so a
+   claim established entirely from the memo cache is still re-verified
+   against a fresh computation. *)
+let fixed_point_observer : (Problem.t -> unit) option ref = ref None
+
+let notify_fixed_point p =
+  match !fixed_point_observer with None -> () | Some f -> f p
+
 (* Memo of normalized problem ↦ normalized speedup result, bucketed by
    the renaming-invariant hash; within a bucket candidates are compared
    up to isomorphism (cheap exact check first).  Since [R̄ ∘ R] commutes
@@ -74,7 +84,9 @@ let detect ?(max_steps = 5) ?expand_limit ?pool p =
   let p0 = Simplify.normalize p in
   let first = step_normalized ?expand_limit ?pool p0 in
   match Iso.find_renaming first p0 with
-  | Some assoc -> Fixed_point (p0, assoc)
+  | Some assoc ->
+      notify_fixed_point p0;
+      Fixed_point (p0, assoc)
   | None ->
       (* [i] counts the speedup steps applied so far, including the one
          performed by the current iteration: the unrolled first step
@@ -83,8 +95,10 @@ let detect ?(max_steps = 5) ?expand_limit ?pool p =
         if i > max_steps then No_fixed_point_found prev
         else begin
           let next = step_normalized ?expand_limit ?pool prev in
-          if Iso.equal_up_to_renaming next prev then
+          if Iso.equal_up_to_renaming next prev then begin
+            notify_fixed_point prev;
             Reaches_fixed_point (i, prev)
+          end
           else iterate next (i + 1)
         end
       in

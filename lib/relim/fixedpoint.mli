@@ -62,6 +62,14 @@ val reset_stats : unit -> unit
 (** Drop all memoized speedup results. *)
 val clear_cache : unit -> unit
 
+(** Certificate emission hook.  When set, it is invoked with the fixed
+    problem each time {!detect} confirms a fixed point — immediate
+    ([Fixed_point]) or eventual ([Reaches_fixed_point]) — before the
+    verdict is returned.  Intended for the independent re-checkers in
+    [Certify.Hooks], which replay one sequential speedup step from
+    scratch, bypassing the memo cache.  [None] by default. *)
+val fixed_point_observer : (Problem.t -> unit) option ref
+
 (** Convenience: [Some (det, rand)] lower-bound statement strings when
     a fixed point (immediate or eventual) was found and the fixed
     problem is not 0-round solvable under arbitrary ports. *)

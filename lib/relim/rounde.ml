@@ -41,6 +41,17 @@ let stats =
    ([Sys.time], which sums over threads) would be misleading. *)
 let now () = Unix.gettimeofday ()
 
+(* Certificate emission hook: fired with (source problem, result) after
+   every successful [r] / [rbar] call, in the calling domain.  Budget
+   failures raise before the hook fires, so an installed checker only
+   ever sees results the engine actually returned.  Installed by
+   [Certify.Hooks]; [None] (the default) costs one load per call. *)
+let observer : (op:[ `R | `Rbar ] -> source:Problem.t -> denoted -> unit) option ref =
+  ref None
+
+let notify op source result =
+  match !observer with None -> () | Some f -> f ~op ~source result
+
 let reset_stats () =
   stats.r_calls <- 0;
   stats.closures_visited <- 0;
@@ -222,7 +233,9 @@ let r (p : Problem.t) =
       ~edge:(Constr.make edge_lines)
   in
   stats.r_time_s <- stats.r_time_s +. (now () -. t0);
-  { problem; denotations = denots }
+  let result = { problem; denotations = denots } in
+  notify `R p result;
+  result
 
 (* --- R̄ ---------------------------------------------------------- *)
 
@@ -552,7 +565,9 @@ let rbar ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool (p : Problem.t) =
       ~edge:(Constr.make !edge_lines)
   in
   stats.rbar_time_s <- stats.rbar_time_s +. (now () -. t0);
-  { problem; denotations = denots }
+  let result = { problem; denotations = denots } in
+  notify `Rbar p result;
+  result
 
 let step ?expand_limit ?rc_limit ?pool p =
   let { problem = p'; _ } = r p in

@@ -73,6 +73,15 @@ val stats : stats
 
 val reset_stats : unit -> unit
 
+(** Certificate emission hook.  When set, it is invoked — in the
+    calling domain, after the stats were updated — with the source
+    problem and the result of every {e successful} [r] / [rbar] call
+    (budget failures raise before the hook fires).  Intended for the
+    independent re-checkers in [Certify.Hooks]; an exception raised by
+    the hook propagates to the engine's caller.  [None] by default. *)
+val observer :
+  (op:[ `R | `Rbar ] -> source:Problem.t -> denoted -> unit) option ref
+
 (** [r p] computes Π' = R(Π): the edge constraint consists of all
     maximal pairs (A₁, A₂) of non-empty label sets whose members are
     pairwise compatible in ℰ_Π; the node constraint is obtained by

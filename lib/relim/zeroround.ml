@@ -14,6 +14,18 @@ let reset_stats () =
   stats.bk_expansions <- 0;
   stats.clique_time_s <- 0.
 
+(* Verdict emission hook: fired with (mode, problem, verdict) after
+   every completed decider call (budget failures raise before it
+   fires).  Installed by [Certify.Hooks]. *)
+let observer :
+    (mode:[ `Mirrored | `Arbitrary ] -> Problem.t -> Multiset.t option -> unit)
+    option
+    ref =
+  ref None
+
+let notify mode p verdict =
+  match !observer with None -> () | Some f -> f ~mode p verdict
+
 let compat_matrix (p : Problem.t) =
   let n = Alphabet.size p.alpha in
   let compat = Array.make_matrix n n false in
@@ -52,7 +64,11 @@ let pick_from_pool line pool =
 
 let solvable_mirrored p =
   let pool = self_compatible p in
-  List.find_map (fun line -> pick_from_pool line pool) (Constr.lines p.node)
+  let verdict =
+    List.find_map (fun line -> pick_from_pool line pool) (Constr.lines p.node)
+  in
+  notify `Mirrored p verdict;
+  verdict
 
 (* Maximal cliques of the compatibility graph, restricted to the
    self-compatible labels (a label incompatible with itself can never
@@ -247,6 +263,7 @@ let solvable_arbitrary_ports ?(max_expansions = 1_000_000) ?pool p =
     end
   in
   stats.clique_time_s <- stats.clique_time_s +. (Unix.gettimeofday () -. t0);
+  notify `Arbitrary p result;
   result
 
 let randomized_failure_bound ?(limit = 2e6) p =

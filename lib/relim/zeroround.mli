@@ -87,3 +87,14 @@ type stats = {
 val stats : stats
 
 val reset_stats : unit -> unit
+
+(** Verdict emission hook.  When set, it is invoked after every
+    completed {!solvable_mirrored} ([`Mirrored]) and
+    {!solvable_arbitrary_ports} ([`Arbitrary]) call with the problem
+    and the verdict just returned; expansion-budget failures raise
+    before the hook fires.  Intended for the independent re-checkers
+    in [Certify.Hooks].  [None] by default. *)
+val observer :
+  (mode:[ `Mirrored | `Arbitrary ] -> Problem.t -> Multiset.t option -> unit)
+  option
+  ref

@@ -700,8 +700,11 @@ let test_r_label_counts () =
         (String.concat "," (List.map string_of_int other))
 
 let () =
+  (* RELIM_CERTIFY=1 re-checks every engine output in this suite with
+     the independent certifiers in lib/certify. *)
+  Certify.Hooks.install_if_env ();
   let qsuite name tests =
-    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+    (name, List.map (Qseed.to_alcotest) tests)
   in
   Alcotest.run "core"
     [

@@ -42,6 +42,17 @@ let luby_qcheck =
         let g = Tree_gen.random ~n ~max_degree ~seed in
         let mis, _ = Luby.run ~seed g in
         Check.is_mis g mis);
+    QCheck.Test.make ~name:"luby-mis-survives-port-shuffle" ~count:15
+      QCheck.(triple (int_range 2 120) (int_range 2 7) (int_range 0 1000))
+      (fun (n, max_degree, seed) ->
+        let g =
+          Tree_gen.shuffle_ports
+            (Tree_gen.random ~n ~max_degree ~seed)
+            ~seed:(seed + 1)
+        in
+        let mis, _ = Luby.run ~seed g in
+        Check.is_independent_set g mis && Check.is_dominating_set g mis
+        && Check.is_mis g mis);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -96,6 +107,16 @@ let cv_qcheck =
       QCheck.(pair (int_range 2 250) (int_range 2 8))
       (fun (n, max_degree) ->
         let g = Tree_gen.random ~n ~max_degree ~seed:(n * max_degree) in
+        let colors, _ = Cole_vishkin.run g ~root:0 in
+        Check.is_proper_coloring ~bound:3 g colors);
+    QCheck.Test.make ~name:"cv-valid-after-port-shuffle" ~count:15
+      QCheck.(triple (int_range 2 200) (int_range 2 7) (int_range 0 1000))
+      (fun (n, max_degree, seed) ->
+        let g =
+          Tree_gen.shuffle_ports
+            (Tree_gen.random ~n ~max_degree ~seed)
+            ~seed:(seed + 1)
+        in
         let colors, _ = Cole_vishkin.run g ~root:0 in
         Check.is_proper_coloring ~bound:3 g colors);
   ]
@@ -379,9 +400,48 @@ let test_ruling_set_beta1_is_mis () =
   let sel, _ = Ruling_set.via_power_mis g ~beta:1 ~seed:5 in
   check_bool "beta=1 gives an MIS" true (Check.is_mis g sel)
 
+(* Differential properties: the distributed constructions are checked
+   by the independent centralized verifiers in Dsgraph.Check /
+   Ruling_set.is_ruling_set on random trees, including under
+   adversarial port renumberings. *)
+let ruling_qcheck =
+  [
+    QCheck.Test.make ~name:"power-mis-is-ruling-set" ~count:20
+      QCheck.(
+        quad (int_range 2 120) (int_range 2 6) (int_range 1 3)
+          (int_range 0 1000))
+      (fun (n, max_degree, beta, seed) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed in
+        let sel, rounds = Ruling_set.via_power_mis g ~beta ~seed in
+        Ruling_set.is_ruling_set g ~alpha:(beta + 1) ~beta sel
+        && Ruling_set.is_ruling_set g ~alpha:2 ~beta sel
+        && rounds mod beta = 0);
+    QCheck.Test.make ~name:"beta1-agrees-with-mis-checker" ~count:20
+      QCheck.(triple (int_range 2 120) (int_range 2 6) (int_range 0 1000))
+      (fun (n, max_degree, seed) ->
+        let g = Tree_gen.random ~n ~max_degree ~seed in
+        let sel, _ = Ruling_set.via_power_mis g ~beta:1 ~seed in
+        (* Two independent verdicts must agree: the ruling-set checker
+           at (2, 1) and the MIS checker. *)
+        Check.is_mis g sel
+        && Check.is_independent_set g sel
+        && Check.is_dominating_set g sel
+        && Ruling_set.is_ruling_set g ~alpha:2 ~beta:1 sel);
+    QCheck.Test.make ~name:"ruling-set-survives-port-shuffle" ~count:15
+      QCheck.(triple (int_range 2 100) (int_range 2 6) (int_range 0 1000))
+      (fun (n, max_degree, seed) ->
+        let g =
+          Tree_gen.shuffle_ports
+            (Tree_gen.random ~n ~max_degree ~seed)
+            ~seed:(seed + 1)
+        in
+        let sel, _ = Ruling_set.via_power_mis g ~beta:2 ~seed in
+        Ruling_set.is_ruling_set g ~alpha:3 ~beta:2 sel);
+  ]
+
 let () =
   let qsuite name tests =
-    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+    (name, List.map (Qseed.to_alcotest) tests)
   in
   Alcotest.run "distalgo"
     [
@@ -450,4 +510,5 @@ let () =
           Alcotest.test_case "construction" `Quick test_ruling_set_construction;
           Alcotest.test_case "beta=1 is MIS" `Quick test_ruling_set_beta1_is_mis;
         ] );
+      qsuite "ruling-props" ruling_qcheck;
     ]

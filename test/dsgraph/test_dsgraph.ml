@@ -397,7 +397,7 @@ let test_all_distances () =
 
 let () =
   let qsuite name tests =
-    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+    (name, List.map (Qseed.to_alcotest) tests)
   in
   Alcotest.run "dsgraph"
     [

@@ -183,5 +183,5 @@ let () =
           Alcotest.test_case "pretty-printer" `Quick test_labeling_pp;
         ] );
       ( "labeling-props",
-        List.map (QCheck_alcotest.to_alcotest ~long:false) mis_labeling_qcheck );
+        List.map (Qseed.to_alcotest) mis_labeling_qcheck );
     ]

@@ -491,6 +491,6 @@ let () =
         ] );
       ( "synthesis-props",
         List.map
-          (QCheck_alcotest.to_alcotest ~long:false)
+          (Qseed.to_alcotest)
           synthesis_vs_zeroround_qcheck );
     ]

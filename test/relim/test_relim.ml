@@ -528,7 +528,7 @@ let engine_qcheck =
   ]
 
 let qsuite name tests =
-  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  (name, List.map (Qseed.to_alcotest) tests)
 
 let main_suites =
   [
@@ -2015,11 +2015,11 @@ let extra_suites =
         Alcotest.test_case "Rbar extensional" `Quick test_rbar_definition;
       ] );
     ( "theorem3-props",
-      List.map (QCheck_alcotest.to_alcotest ~long:false) theorem3_qcheck );
+      List.map (Qseed.to_alcotest) theorem3_qcheck );
     ( "transport-props",
-      List.map (QCheck_alcotest.to_alcotest ~long:false) transport_qcheck );
+      List.map (Qseed.to_alcotest) transport_qcheck );
     ( "invariants",
-      List.map (QCheck_alcotest.to_alcotest ~long:false) invariant_qcheck );
+      List.map (Qseed.to_alcotest) invariant_qcheck );
     ( "upperbound",
       [
         Alcotest.test_case "trivial is 0-round" `Quick (fun () ->
@@ -2054,4 +2054,8 @@ let extra_suites =
       ] );
   ]
 
-let () = Alcotest.run "relim" (main_suites @ extra_suites)
+let () =
+  (* RELIM_CERTIFY=1 re-checks every engine output in this suite with
+     the independent certifiers in lib/certify. *)
+  Certify.Hooks.install_if_env ();
+  Alcotest.run "relim" (main_suites @ extra_suites)

@@ -1,0 +1,35 @@
+(* Pinned randomness for the qcheck property suites.
+
+   Every property test runs from one explicit seed so failures
+   reproduce across machines and CI runs.  The seed defaults to a
+   fixed value and can be overridden with QCHECK_SEED=<int>; it is
+   announced on stderr so a failing run always shows how to reproduce
+   it (dune surfaces test output on failure). *)
+
+let default_seed = 20260806
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "[qcheck] ignoring unparsable QCHECK_SEED=%S\n%!" s;
+          default_seed)
+  | None -> default_seed
+
+let announced = ref false
+
+let announce () =
+  if not !announced then begin
+    announced := true;
+    Printf.eprintf
+      "[qcheck] running with seed %d (override with QCHECK_SEED=<int>)\n%!"
+      seed
+  end
+
+(* Each test gets its own state seeded identically, so tests stay
+   independent of suite order and of each other. *)
+let to_alcotest ?(long = false) cell =
+  announce ();
+  QCheck_alcotest.to_alcotest ~long ~rand:(Random.State.make [| seed |]) cell

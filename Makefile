@@ -1,4 +1,5 @@
-.PHONY: all build test check bench bench-smoke fuzz-smoke examples-smoke clean
+.PHONY: all build test check bench bench-smoke fuzz-smoke examples-smoke \
+	trace-smoke clean
 
 all: build
 
@@ -25,6 +26,20 @@ bench-smoke:
 	dune build bench
 	dune exec bench/main.exe -- relim_perf
 	dune exec bench/validate_json.exe -- --require-meta BENCH_relim.json
+	dune exec bench/validate_trace.exe -- BENCH_trace.jsonl
+
+# Tracing smoke: run the pipeline under both sinks (the --trace flag
+# and the RELIM_TRACE env var) and validate the emitted traces against
+# the schema checker (span nesting, per-domain monotone timestamps,
+# counter/span reconciliation).
+trace-smoke:
+	dune build bin bench
+	dune exec bin/roundelim.exe -- step -p mis -d 3 --trace trace_smoke.jsonl > /dev/null
+	dune exec bench/validate_trace.exe -- trace_smoke.jsonl
+	dune exec bin/roundelim.exe -- step -p mis -d 3 --trace trace_smoke.json --trace-format chrome > /dev/null
+	dune exec bench/validate_trace.exe -- --chrome trace_smoke.json
+	RELIM_TRACE=trace_smoke_env.jsonl dune exec bin/roundelim.exe -- fixed-point -p pi -d 5 -a 4 -x 2 --max-steps 1 --domains 2 > /dev/null
+	dune exec bench/validate_trace.exe -- trace_smoke_env.jsonl
 
 # Differential fuzzing smoke, pinned and CI-sized (well under 30s): 500
 # random problems through the optimized pipeline with every output

@@ -1088,6 +1088,38 @@ let relim_perf () =
     cert.Certify.Check.r_certified cert.Certify.Check.rbar_certified
     cert.Certify.Check.skipped_subchecks
     (1e3 *. cert.Certify.Check.time_s);
+  (* Tracing overhead: the same Pi(5,4,2) step with the lib/trace sink
+     disabled vs enabled (spans + counter samples to BENCH_trace.jsonl,
+     validated by `make bench-smoke`).  The disabled path is a single
+     atomic load per span, so [trace_off_s] must stay within noise of
+     [wall_1] — the untraced sequential measurement of the exact same
+     workload above. *)
+  let trace_runs = 5 in
+  let timed_traced () =
+    let best = ref infinity in
+    for _ = 1 to trace_runs do
+      let t0 = Unix.gettimeofday () in
+      ignore (Relim.Rounde.step ~pool:Parallel.Pool.sequential pi5_first);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let trace_off_s = timed_traced () in
+  Trace.enable ~path:"BENCH_trace.jsonl" ~format:Trace.Jsonl;
+  (* Fresh counters inside the trace window, so the emitted samples
+     reconcile with the spans (validate_trace checks this). *)
+  Relim.Rounde.reset_stats ();
+  let trace_on_s = timed_traced () in
+  Trace.close ();
+  result
+    "@.tracing overhead on step 1 of Pi(5,4,2) (best of %d): disabled %.3f \
+     ms (untraced baseline %.3f ms, ratio %.3f), enabled %.3f ms (%.2fx); \
+     wrote BENCH_trace.jsonl@."
+    trace_runs (1e3 *. trace_off_s) (1e3 *. wall_1)
+    (trace_off_s /. wall_1)
+    (1e3 *. trace_on_s)
+    (trace_on_s /. trace_off_s);
   (* JSON dump. *)
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"bench\": \"relim\",\n";
@@ -1170,8 +1202,16 @@ let relim_perf () =
        \    \"second\": { \"steps_applied\": %d, \"cache_hits\": %d, \
         \"cache_misses\": %d, \"step_time_s\": %.6f, \"normalize_time_s\": \
         %.6f }\n\
-       \  }\n}\n"
+       \  },\n"
        steps1 hits1 misses1 time1 norm1 steps2 hits2 misses2 time2 norm2);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"trace_overhead\": { \"problem\": \"Pi(5,4,2) step 1\", \"runs\": \
+        %d, \"disabled_s\": %.6f, \"untraced_baseline_s\": %.6f, \
+        \"disabled_vs_baseline\": %.4f, \"enabled_s\": %.6f, \
+        \"overhead_factor\": %.3f, \"trace_file\": \"BENCH_trace.jsonl\" }\n}\n"
+       trace_runs trace_off_s wall_1 (trace_off_s /. wall_1) trace_on_s
+       (trace_on_s /. trace_off_s));
   let oc = open_out "BENCH_relim.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;

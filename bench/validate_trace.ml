@@ -1,0 +1,463 @@
+(* Dependency-free schema validator for the execution traces emitted by
+   lib/trace (the repo deliberately has no JSON library).  Used by
+   `make trace-smoke` and the CI trace leg to guarantee that the traces
+   roundelim writes stay well-formed and internally consistent:
+
+   - every line (JSONL) / traceEvents element (--chrome) parses as JSON
+     with the expected fields;
+   - span begin/end events nest properly per domain (an end always
+     closes the innermost open span of its domain, and every span
+     opened is closed by end of trace);
+   - timestamps are monotone non-decreasing per domain;
+   - counter series are non-decreasing per domain (they sample
+     cumulative engine statistics);
+   - counter totals reconcile with the span structure: the final value
+     of rounde.r_calls must equal the number of closed rounde.r spans
+     (likewise rounde.rbar_calls / rounde.rbar and
+     zeroround.clique_calls / zeroround.arbitrary_ports), and
+     fixedpoint.steps_applied = cache_hits + cache_misses = number of
+     closed fixedpoint.step spans.
+
+   Exit code 0 iff every file passes; 1 on a validation failure; 2 on
+   usage errors.  Failure messages name the file, the line (JSONL) or
+   event index (--chrome), and the violated property. *)
+
+(* ---- minimal JSON parser (value AST, RFC 8259 grammar) ---- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of int * string
+
+let parse (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, found %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let skip_ws () =
+    while
+      match peek () with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal word = String.iter expect word in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              let code = ref 0 in
+              for _ = 1 to 4 do
+                (match peek () with
+                | Some ('0' .. '9' as c) ->
+                    code := (!code * 16) + (Char.code c - Char.code '0')
+                | Some ('a' .. 'f' as c) ->
+                    code := (!code * 16) + (Char.code c - Char.code 'a' + 10)
+                | Some ('A' .. 'F' as c) ->
+                    code := (!code * 16) + (Char.code c - Char.code 'A' + 10)
+                | _ -> fail "bad \\u escape");
+                advance ()
+              done;
+              (* The traces only escape control characters; keep them
+                 byte-for-byte when they fit, '?' otherwise. *)
+              Buffer.add_char buf
+                (if !code < 0x100 then Char.chr !code else '?');
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let saw = ref false in
+      while match peek () with Some '0' .. '9' -> true | _ -> false do
+        saw := true;
+        advance ()
+      done;
+      if not !saw then fail "expected digit"
+    in
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "bad number");
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (string_body ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let members = ref [] in
+          let rec go () =
+            skip_ws ();
+            let key = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            members := (key, v) :: !members;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or } in object"
+          in
+          go ();
+          Obj (List.rev !members)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let elements = ref [] in
+          let rec go () =
+            let v = value () in
+            elements := v :: !elements;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ] in array"
+          in
+          go ();
+          Arr (List.rev !elements)
+        end
+    | Some 't' -> literal "true"; Bool true
+    | Some 'f' -> literal "false"; Bool false
+    | Some 'n' -> literal "null"; Null
+    | Some ('-' | '0' .. '9') -> Num (number ())
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+    | None -> fail "empty input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage after the JSON value";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let as_int = function Some (Num f) -> Some (int_of_float f) | _ -> None
+
+let as_str = function Some (Str s) -> Some s | _ -> None
+
+(* ---- validation ---- *)
+
+(* One normalized event, whichever format it came from. *)
+type ev =
+  | Span_begin of string
+  | Span_end of string
+  | Instant of string
+  | Counter of (string * int) list
+
+type norm = { where : string; dom : int; ts : int; ev : ev }
+
+exception Invalid of string
+
+let failf where fmt =
+  Printf.ksprintf (fun msg -> raise (Invalid (where ^ ": " ^ msg))) fmt
+
+let need_str where what v =
+  match as_str v with
+  | Some s -> s
+  | None -> failf where "missing or non-string %s" what
+
+let need_int where what v =
+  match as_int v with
+  | Some i -> i
+  | None -> failf where "missing or non-integer %s" what
+
+let norm_jsonl ~where line =
+  let j =
+    match parse line with
+    | j -> j
+    | exception Bad (pos, msg) ->
+        failf where "invalid JSON at byte %d: %s" pos msg
+  in
+  let dom = need_int where "\"dom\"" (member "dom" j) in
+  let ts = need_int where "\"ts\"" (member "ts" j) in
+  let name () = need_str where "\"name\"" (member "name" j) in
+  let ev =
+    match need_str where "\"ev\"" (member "ev" j) with
+    | "b" -> Span_begin (name ())
+    | "e" -> Span_end (name ())
+    | "i" -> Instant (name ())
+    | "g" ->
+        ignore (name ());
+        (match member "value" j with
+        | Some (Num _) -> ()
+        | _ -> failf where "gauge event without numeric \"value\"");
+        Instant "gauge"
+    | "c" -> (
+        match member "counters" j with
+        | Some (Obj kvs) ->
+            Counter
+              (List.map
+                 (fun (k, v) ->
+                   (k, need_int where (Printf.sprintf "counter %S" k) (Some v)))
+                 kvs)
+        | _ -> failf where "counter event without \"counters\" object")
+    | other -> failf where "unknown event kind %S" other
+  in
+  { where; dom; ts; ev }
+
+let norm_chrome ~where j =
+  let dom = need_int where "\"tid\"" (member "tid" j) in
+  let ts = need_int where "\"ts\"" (member "ts" j) in
+  let name = need_str where "\"name\"" (member "name" j) in
+  let ev =
+    match need_str where "\"ph\"" (member "ph" j) with
+    | "B" -> Span_begin name
+    | "E" -> Span_end name
+    | "i" -> Instant name
+    | "C" -> (
+        match member "args" j with
+        | Some args -> (
+            match member "value" args with
+            | Some (Num v) -> Counter [ (name, int_of_float v) ]
+            | _ -> failf where "counter event without args.value")
+        | None -> failf where "counter event without args")
+    | "M" -> Instant name  (* metadata: tolerated, not checked *)
+    | other -> failf where "unknown phase %S" other
+  in
+  { where; dom; ts; ev }
+
+(* Counter series whose final value must equal the number of closed
+   spans of a given name. *)
+let span_counts =
+  [
+    ("rounde.r_calls", "rounde.r");
+    ("rounde.rbar_calls", "rounde.rbar");
+    ("zeroround.clique_calls", "zeroround.arbitrary_ports");
+    ("fixedpoint.steps_applied", "fixedpoint.step");
+  ]
+
+type dom_state = {
+  mutable stack : string list;
+  mutable last_ts : int;
+  mutable spans_closed : int;
+}
+
+let validate_events ~path ~check_counters (events : norm list) =
+  let doms : (int, dom_state) Hashtbl.t = Hashtbl.create 8 in
+  let dom_state d =
+    match Hashtbl.find_opt doms d with
+    | Some st -> st
+    | None ->
+        let st = { stack = []; last_ts = min_int; spans_closed = 0 } in
+        Hashtbl.add doms d st;
+        st
+  in
+  (* Final value per counter series, and per-(dom, series) last value
+     for the monotonicity check. *)
+  let final : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let last : (int * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let closed_spans : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let n_events = ref 0 in
+  List.iter
+    (fun e ->
+      incr n_events;
+      let st = dom_state e.dom in
+      if e.ts < st.last_ts then
+        failf e.where "timestamp %d goes backwards on domain %d (previous %d)"
+          e.ts e.dom st.last_ts;
+      st.last_ts <- e.ts;
+      match e.ev with
+      | Span_begin name -> st.stack <- name :: st.stack
+      | Span_end name -> (
+          match st.stack with
+          | top :: rest when String.equal top name ->
+              st.stack <- rest;
+              st.spans_closed <- st.spans_closed + 1;
+              Hashtbl.replace closed_spans name
+                (1 + Option.value ~default:0 (Hashtbl.find_opt closed_spans name))
+          | top :: _ ->
+              failf e.where
+                "span end %S does not match innermost open span %S on domain %d"
+                name top e.dom
+          | [] ->
+              failf e.where "span end %S with no open span on domain %d" name
+                e.dom)
+      | Instant _ -> ()
+      | Counter kvs ->
+          List.iter
+            (fun (k, v) ->
+              (match Hashtbl.find_opt last (e.dom, k) with
+              | Some prev when check_counters && v < prev ->
+                  failf e.where
+                    "counter %S decreases on domain %d (%d after %d)" k e.dom v
+                    prev
+              | _ -> ());
+              Hashtbl.replace last (e.dom, k) v;
+              Hashtbl.replace final k v)
+            kvs)
+    events;
+  Hashtbl.iter
+    (fun d st ->
+      match st.stack with
+      | [] -> ()
+      | names ->
+          raise
+            (Invalid
+               (Printf.sprintf
+                  "%s: domain %d: %d span(s) left open at end of trace: %s"
+                  path d (List.length names)
+                  (String.concat ", " names))))
+    doms;
+  (* Counter/span reconciliation, for the series present in the trace. *)
+  List.iter
+    (fun (series, span) ->
+      if not check_counters then ()
+      else
+      match Hashtbl.find_opt final series with
+      | None -> ()
+      | Some v ->
+          let c = Option.value ~default:0 (Hashtbl.find_opt closed_spans span) in
+          if v <> c then
+            raise
+              (Invalid
+                 (Printf.sprintf
+                    "%s: final %s = %d but the trace closes %d %S span(s)"
+                    path series v c span)))
+    span_counts;
+  (match
+     ( (if check_counters then Hashtbl.find_opt final "fixedpoint.steps_applied"
+        else None),
+       Hashtbl.find_opt final "fixedpoint.cache_hits",
+       Hashtbl.find_opt final "fixedpoint.cache_misses" )
+   with
+  | Some steps, Some hits, Some misses when steps <> hits + misses ->
+      raise
+        (Invalid
+           (Printf.sprintf
+              "%s: fixedpoint.steps_applied = %d but cache_hits + cache_misses \
+               = %d"
+              path steps (hits + misses)))
+  | _ -> ());
+  (!n_events, Hashtbl.length doms, Hashtbl.fold (fun _ st acc -> acc + st.spans_closed) doms 0)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let events_of_jsonl path =
+  let contents = read_file path in
+  let lines = String.split_on_char '\n' contents in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         if String.trim line = "" then []
+         else [ norm_jsonl ~where:(Printf.sprintf "%s:%d" path (i + 1)) line ])
+       lines)
+
+let events_of_chrome path =
+  let j =
+    match parse (read_file path) with
+    | j -> j
+    | exception Bad (pos, msg) ->
+        raise (Invalid (Printf.sprintf "%s: invalid JSON at byte %d: %s" path pos msg))
+  in
+  match member "traceEvents" j with
+  | Some (Arr items) ->
+      List.mapi
+        (fun i item ->
+          norm_chrome ~where:(Printf.sprintf "%s: event %d" path i) item)
+        items
+  | _ ->
+      raise (Invalid (path ^ ": top-level object has no \"traceEvents\" array"))
+
+let () =
+  let args = match Array.to_list Sys.argv with _ :: a -> a | [] -> [] in
+  let chrome = List.mem "--chrome" args in
+  (* --skip-counters: structural checks only (nesting + timestamps).
+     For traces of runs that reset the engine stats mid-flight — the
+     test suites do — where cumulative counter samples legitimately
+     jump backwards. *)
+  let check_counters = not (List.mem "--skip-counters" args) in
+  let files =
+    List.filter (fun a -> a <> "--chrome" && a <> "--skip-counters") args
+  in
+  if files = [] then begin
+    prerr_endline "usage: validate_trace [--chrome] [--skip-counters] FILE ...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match
+        let events =
+          if chrome then events_of_chrome path else events_of_jsonl path
+        in
+        validate_events ~path ~check_counters events
+      with
+      | n_events, n_doms, n_spans ->
+          Printf.printf "%s: valid trace (%d events, %d spans, %d domains)\n"
+            path n_events n_spans n_doms
+      | exception Invalid msg ->
+          failed := true;
+          Printf.eprintf "%s\n" msg
+      | exception Sys_error e ->
+          failed := true;
+          Printf.eprintf "%s\n" e)
+    files;
+  if !failed then exit 1

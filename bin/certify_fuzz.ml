@@ -87,4 +87,11 @@ let fuzz_cmd =
       const fuzz $ count_t $ seed_t $ labels_t $ delta_t $ domains_t
       $ self_test_t)
 
-let () = exit (Cmd.eval fuzz_cmd)
+let () =
+  (match Trace.setup_from_env () with
+  | () -> ()
+  | exception Sys_error msg ->
+      Format.eprintf "certify_fuzz: %s: cannot open trace file: %s@."
+        Trace.env_var msg;
+      exit 2);
+  exit (Cmd.eval fuzz_cmd)

@@ -70,6 +70,39 @@ let certify_t =
            (lib/certify) while the command runs; a divergence aborts with a \
            Violation.  Also enabled by RELIM_CERTIFY=1.")
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured execution trace (spans + counters for every \
+           engine phase) to $(docv).  See $(b,--trace-format).  Tracing is \
+           also enabled by RELIM_TRACE=<path> (format from \
+           RELIM_TRACE_FORMAT).")
+
+let trace_format_t =
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", Trace.Jsonl); ("chrome", Trace.Chrome) ]) Trace.Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace output format: $(b,jsonl) (one event per line) or \
+           $(b,chrome) (trace_event JSON for about://tracing / Perfetto).")
+
+(* The sink is opened before any work runs: an unwritable path must
+   abort immediately, not after minutes of computation. *)
+let with_trace trace fmt f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      (match Trace.enable ~path ~format:fmt with
+      | () -> ()
+      | exception Sys_error msg ->
+          Format.eprintf "roundelim: --trace: cannot open trace file: %s@." msg;
+          exit 2);
+      Fun.protect ~finally:Trace.close f
+
 (* Run [f] with the certificate checkers installed when requested,
    printing a one-line certification summary afterwards. *)
 let with_certify certify f =
@@ -109,7 +142,8 @@ let show_cmd =
 
 (* ---- step ---- *)
 
-let step preset delta a x node edge steps domains certify =
+let step preset delta a x node edge steps domains certify trace tfmt =
+  with_trace trace tfmt @@ fun () ->
   let pool = pool_of_domains domains in
   let p = ref (preset_problem preset delta a x node edge) in
   Format.printf "%a@." Relim.Problem.pp !p;
@@ -132,11 +166,12 @@ let step_cmd =
     (Cmd.info "step" ~doc:"Apply round-elimination speedup steps (Rbar o R)")
     Term.(
       const step $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t
-      $ domains_t $ certify_t)
+      $ domains_t $ certify_t $ trace_t $ trace_format_t)
 
 (* ---- zero-round ---- *)
 
-let zero_round preset delta a x node edge domains certify =
+let zero_round preset delta a x node edge domains certify trace tfmt =
+  with_trace trace tfmt @@ fun () ->
   let pool = pool_of_domains domains in
   let p = preset_problem preset delta a x node edge in
   with_certify certify (fun () ->
@@ -160,7 +195,7 @@ let zero_round_cmd =
     (Cmd.info "zero-round" ~doc:"Decide 0-round solvability in the PN model")
     Term.(
       const zero_round $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
-      $ domains_t $ certify_t)
+      $ domains_t $ certify_t $ trace_t $ trace_format_t)
 
 (* ---- chain ---- *)
 
@@ -281,7 +316,8 @@ let load_cmd =
 
 (* ---- upper-bound ---- *)
 
-let upper_bound preset delta a x node edge max_steps domains certify =
+let upper_bound preset delta a x node edge max_steps domains certify trace tfmt =
+  with_trace trace tfmt @@ fun () ->
   let pool = pool_of_domains domains in
   let p = preset_problem preset delta a x node edge in
   with_certify certify @@ fun () ->
@@ -301,11 +337,12 @@ let upper_bound_cmd =
     (Cmd.info "upper-bound" ~doc:"Search for an upper bound by iterated speedup")
     Term.(
       const upper_bound $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
-      $ steps_t $ domains_t $ certify_t)
+      $ steps_t $ domains_t $ certify_t $ trace_t $ trace_format_t)
 
 (* ---- fixed-point ---- *)
 
-let fixed_point preset delta a x node edge max_steps domains certify =
+let fixed_point preset delta a x node edge max_steps domains certify trace tfmt =
+  with_trace trace tfmt @@ fun () ->
   let pool = pool_of_domains domains in
   let p = preset_problem preset delta a x node edge in
   with_certify certify @@ fun () ->
@@ -334,7 +371,7 @@ let fixed_point_cmd =
     (Cmd.info "fixed-point" ~doc:"Search for a round-elimination fixed point")
     Term.(
       const fixed_point $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
-      $ steps_t $ domains_t $ certify_t)
+      $ steps_t $ domains_t $ certify_t $ trace_t $ trace_format_t)
 
 (* ---- certify ---- *)
 
@@ -442,6 +479,15 @@ let main_cmd =
     ]
 
 let () =
+  (* RELIM_TRACE=<path> traces engine calls from any subcommand, even
+     those without a --trace flag; like --trace, a bad path aborts
+     before any work runs. *)
+  (match Trace.setup_from_env () with
+  | () -> ()
+  | exception Sys_error msg ->
+      Format.eprintf "roundelim: %s: cannot open trace file: %s@."
+        Trace.env_var msg;
+      exit 2);
   (* RELIM_CERTIFY=1 certifies engine calls from any subcommand, even
      those without a --certify flag (lemmas, verify-all, chain, ...). *)
   Certify.Hooks.install_if_env ();

@@ -9,12 +9,26 @@ let install () =
       Some
         (fun ~op ~source result ->
           match op with
-          | `R -> Check.check_r ~source result
-          | `Rbar -> Check.check_rbar ~source result);
+          | `R ->
+              Trace.with_span "certify.r"
+                ~attrs:[ ("problem", source.Relim.Problem.name) ]
+                (fun () -> Check.check_r ~source result)
+          | `Rbar ->
+              Trace.with_span "certify.rbar"
+                ~attrs:[ ("problem", source.Relim.Problem.name) ]
+                (fun () -> Check.check_rbar ~source result));
     Relim.Zeroround.observer :=
-      Some (fun ~mode p verdict -> Check.check_zero_round ~mode p verdict);
+      Some
+        (fun ~mode p verdict ->
+          Trace.with_span "certify.zero_round"
+            ~attrs:[ ("problem", p.Relim.Problem.name) ]
+            (fun () -> Check.check_zero_round ~mode p verdict));
     Relim.Fixedpoint.fixed_point_observer :=
-      Some (fun p -> Check.check_fixed_point p)
+      Some
+        (fun p ->
+          Trace.with_span "certify.fixed_point"
+            ~attrs:[ ("problem", p.Relim.Problem.name) ]
+            (fun () -> Check.check_fixed_point p))
   end
 
 let uninstall () =

@@ -27,6 +27,10 @@ type 'out measured = {
 
 let run_generic ~observe ?(ids = Sequential) ?edge_colors ?seed ?max_rounds g
     ~inputs algo =
+  Trace.with_span "localsim.run"
+    ~attrs:
+      [ ("algo", algo.Algo.name); ("n", string_of_int (Graph.n g)) ]
+  @@ fun () ->
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some m -> m | None -> (4 * n) + 64 in
   let delta = Graph.max_degree g in

@@ -85,7 +85,15 @@ let run ?(chunk = 1) t ~n ~init ~body ~merge =
   if n <= 0 then ()
   else if t.domains <= 1 || t.stopped || n = 1 || Domain.DLS.get busy_key then
     run_seq ~n ~init ~body ~merge
-  else begin
+  else
+    Trace.with_span "pool.run"
+      ~attrs:
+        [
+          ("n", string_of_int n);
+          ("chunk", string_of_int chunk);
+          ("domains", string_of_int t.domains);
+        ]
+    @@ fun () ->
     ensure_workers t;
     let locals = Array.init t.domains (fun _ -> init ()) in
     let next = Atomic.make 0 in
@@ -94,21 +102,28 @@ let run ?(chunk = 1) t ~n ~init ~body ~merge =
       Atomic.make None
     in
     let work wid =
-      let local = locals.(wid) in
-      let continue = ref true in
-      while !continue do
-        let lo = Atomic.fetch_and_add next chunk in
-        if lo >= n then continue := false
-        else if not (Atomic.get failed) then (
-          try
-            for i = lo to min n (lo + chunk) - 1 do
-              body local i
-            done
-          with e ->
-            let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set err None (Some (e, bt)));
-            Atomic.set failed true)
-      done
+      (* One span per participating worker, recorded on the worker's
+         own domain timeline — this is what attributes parallel-section
+         time to domains in the trace.  [Trace.with_span] is a plain
+         call of its body when tracing is off. *)
+      Trace.with_span "pool.worker"
+        ~attrs:[ ("worker", string_of_int wid) ]
+        (fun () ->
+          let local = locals.(wid) in
+          let continue = ref true in
+          while !continue do
+            let lo = Atomic.fetch_and_add next chunk in
+            if lo >= n then continue := false
+            else if not (Atomic.get failed) then (
+              try
+                for i = lo to min n (lo + chunk) - 1 do
+                  body local i
+                done
+              with e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set err None (Some (e, bt)));
+                Atomic.set failed true)
+          done)
     in
     Mutex.lock t.lock;
     t.job <- Some work;
@@ -129,7 +144,6 @@ let run ?(chunk = 1) t ~n ~init ~body ~merge =
     match Atomic.get err with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> Array.iter merge locals
-  end
 
 let mapi ?chunk t f arr =
   let n = Array.length arr in

@@ -52,7 +52,19 @@ let same_problem (a : Problem.t) (b : Problem.t) =
    && Constr.equal a.node b.node && Constr.equal a.edge b.edge)
   || Iso.equal_up_to_renaming a b
 
-let step_normalized ?expand_limit ?pool p =
+let sample_counters () =
+  Trace.counters
+    [
+      ("fixedpoint.steps_applied", stats.steps_applied);
+      ("fixedpoint.cache_hits", stats.cache_hits);
+      ("fixedpoint.cache_misses", stats.cache_misses);
+    ]
+
+let step_normalized ?expand_limit ?pool (p : Problem.t) =
+  Trace.with_span "fixedpoint.step"
+    ~attrs:[ ("problem", p.Problem.name) ]
+  @@ fun () ->
+  Fun.protect ~finally:sample_counters @@ fun () ->
   stats.steps_applied <- stats.steps_applied + 1;
   let key = Iso.invariant_hash p in
   let bucket =
@@ -80,7 +92,11 @@ let step_normalized ?expand_limit ?pool p =
       bucket := (p, next) :: !bucket;
       next
 
-let detect ?(max_steps = 5) ?expand_limit ?pool p =
+let detect ?(max_steps = 5) ?expand_limit ?pool (p : Problem.t) =
+  Trace.with_span "fixedpoint.detect"
+    ~attrs:
+      [ ("problem", p.Problem.name); ("max_steps", string_of_int max_steps) ]
+  @@ fun () ->
   let p0 = Simplify.normalize p in
   let first = step_normalized ?expand_limit ?pool p0 in
   match Iso.find_renaming first p0 with

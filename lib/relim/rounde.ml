@@ -142,7 +142,35 @@ let intern_sets base denots =
   let names = Array.to_list (Array.map (Alphabet.set_name base) denots) in
   Alphabet.create names
 
-let r (p : Problem.t) =
+(* Counter samples mirror the cumulative legacy [stats] fields into the
+   trace at span boundaries; [bench/validate_trace.ml] reconciles them
+   against the span structure (e.g. the final [rounde.r_calls] must
+   equal the number of closed [rounde.r] spans).  All [stats] writes
+   happen in the calling domain (parallel sections merge at join before
+   the span ends), so sampling here is race-free. *)
+let sample_r_counters () =
+  Trace.counters
+    [
+      ("rounde.r_calls", stats.r_calls);
+      ("rounde.closures_visited", stats.closures_visited);
+      ("rounde.closure_joins", stats.closure_joins);
+      ("rounde.closure_revisits", stats.closure_revisits);
+    ]
+
+let sample_rbar_counters () =
+  Trace.counters
+    [
+      ("rounde.rbar_calls", stats.rbar_calls);
+      ("rounde.rc_sets", stats.rc_sets);
+      ("rounde.boxes_emitted", stats.boxes_emitted);
+      ("rounde.boxes_pruned", stats.boxes_pruned);
+      ("rounde.box_dom_checks", stats.box_dom_checks);
+      ("rounde.box_dom_cheap_skips", stats.box_dom_cheap_skips);
+      ("rounde.box_transport_calls", stats.box_transport_calls);
+      ("rounde.transport_cache_hits", stats.transport_cache_hits);
+    ]
+
+let r_impl (p : Problem.t) =
   let t0 = now () in
   stats.r_calls <- stats.r_calls + 1;
   let n = Alphabet.size p.alpha in
@@ -237,6 +265,14 @@ let r (p : Problem.t) =
   notify `R p result;
   result
 
+let r (p : Problem.t) =
+  Trace.with_span "rounde.r"
+    ~attrs:[ ("problem", p.name) ]
+    (fun () ->
+      let result = r_impl p in
+      sample_r_counters ();
+      result)
+
 (* --- R̄ ---------------------------------------------------------- *)
 
 module MsTbl = Hashtbl.Make (struct
@@ -264,7 +300,7 @@ let box_work_limit = 5_000_000
    domain count. *)
 type box_local = { mutable emitted : int; mutable pruned : int }
 
-let valid_boxes ?pool (p : Problem.t) ~expand_limit ~rc_limit =
+let valid_boxes_impl ?pool (p : Problem.t) ~expand_limit ~rc_limit =
   let pool = Parctl.resolve pool in
   let delta = Problem.delta p in
   if Constr.expansion_estimate p.node > expand_limit then
@@ -359,6 +395,11 @@ let valid_boxes ?pool (p : Problem.t) ~expand_limit ~rc_limit =
     Array.fold_left (fun acc l -> l @ acc) [] branch_boxes
   end
 
+let valid_boxes ?pool (p : Problem.t) ~expand_limit ~rc_limit =
+  Trace.with_span "rounde.valid_boxes"
+    ~attrs:[ ("problem", p.name) ]
+    (fun () -> valid_boxes_impl ?pool p ~expand_limit ~rc_limit)
+
 (* Precomputed dominance keys.  If [box_leq b b'] (every set of [b]
    matched injectively into a superset in [b']) then necessarily:
    support(b) ⊆ support(b'), the total cardinality of [b] is at most
@@ -448,7 +489,7 @@ let transport_verdict local bi bj =
         v
   end
 
-let maximal_boxes ?pool boxes =
+let maximal_boxes_impl ?pool boxes =
   let pool = Parctl.resolve pool in
   let t0 = now () in
   let keyed = Array.of_list (List.map box_key boxes) in
@@ -501,7 +542,12 @@ let maximal_boxes ?pool boxes =
   stats.maxbox_time_s <- stats.maxbox_time_s +. (now () -. t0);
   result
 
-let rbar ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool (p : Problem.t) =
+let maximal_boxes ?pool boxes =
+  Trace.with_span "rounde.maximal_boxes"
+    ~attrs:[ ("boxes", string_of_int (List.length boxes)) ]
+    (fun () -> maximal_boxes_impl ?pool boxes)
+
+let rbar_impl ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool (p : Problem.t) =
   let t0 = now () in
   stats.rbar_calls <- stats.rbar_calls + 1;
   (* No label cap: the order-ideal enumeration behind
@@ -569,7 +615,18 @@ let rbar ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool (p : Problem.t) =
   notify `Rbar p result;
   result
 
+let rbar ?expand_limit ?rc_limit ?pool (p : Problem.t) =
+  Trace.with_span "rounde.rbar"
+    ~attrs:[ ("problem", p.name) ]
+    (fun () ->
+      let result = rbar_impl ?expand_limit ?rc_limit ?pool p in
+      sample_rbar_counters ();
+      result)
+
 let step ?expand_limit ?rc_limit ?pool p =
+  Trace.with_span "rounde.step"
+    ~attrs:[ ("problem", p.Problem.name) ]
+  @@ fun () ->
   let { problem = p'; _ } = r p in
   let { problem = p''; denotations } = rbar ?expand_limit ?rc_limit ?pool p' in
   (* No trim needed: every label of [rbar]'s output occurs in its node

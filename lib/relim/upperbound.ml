@@ -1,12 +1,29 @@
 type outcome = Solvable_in of int | Unknown_after of int
 
-let search ?(max_steps = 4) ?expand_limit ?pool p =
+let search ?(max_steps = 4) ?expand_limit ?pool (p : Problem.t) =
+  Trace.with_span "upperbound.search"
+    ~attrs:
+      [ ("problem", p.Problem.name); ("max_steps", string_of_int max_steps) ]
+  @@ fun () ->
+  let verdict outcome =
+    (match outcome with
+    | Solvable_in k ->
+        Trace.instant "upperbound.verdict"
+          ~attrs:[ ("outcome", "solvable_in"); ("steps", string_of_int k) ]
+    | Unknown_after k ->
+        Trace.instant "upperbound.verdict"
+          ~attrs:[ ("outcome", "unknown_after"); ("steps", string_of_int k) ]);
+    outcome
+  in
   let rec go p steps =
-    if Zeroround.solvable_arbitrary_ports ?pool p <> None then Solvable_in steps
-    else if steps >= max_steps then Unknown_after steps
-    else
+    if Zeroround.solvable_arbitrary_ports ?pool p <> None then
+      verdict (Solvable_in steps)
+    else if steps >= max_steps then verdict (Unknown_after steps)
+    else begin
+      Trace.instant "upperbound.step" ~attrs:[ ("steps", string_of_int steps) ];
       match Rounde.step ?expand_limit ?pool p with
       | { Rounde.problem = next; _ } -> go (Simplify.normalize next) (steps + 1)
-      | exception Failure _ -> Unknown_after steps
+      | exception Failure _ -> verdict (Unknown_after steps)
+    end
   in
   go (Simplify.normalize p) 0

@@ -63,6 +63,9 @@ let pick_from_pool line pool =
   go [] (Line.groups line)
 
 let solvable_mirrored p =
+  Trace.with_span "zeroround.mirrored"
+    ~attrs:[ ("problem", p.Problem.name) ]
+  @@ fun () ->
   let pool = self_compatible p in
   let verdict =
     List.find_map (fun line -> pick_from_pool line pool) (Constr.lines p.node)
@@ -136,7 +139,7 @@ let iter_maximal_cliques ?(max_expansions = 1_000_000) compat n f =
    the global [stats] at join. *)
 type bk_local = { mutable cliques : int; mutable expansions : int }
 
-let solvable_arbitrary_ports ?(max_expansions = 1_000_000) ?pool p =
+let solvable_arbitrary_ports_impl ?(max_expansions = 1_000_000) ?pool p =
   let pool = Parctl.resolve pool in
   let t0 = Unix.gettimeofday () in
   stats.clique_calls <- stats.clique_calls + 1;
@@ -265,6 +268,19 @@ let solvable_arbitrary_ports ?(max_expansions = 1_000_000) ?pool p =
   stats.clique_time_s <- stats.clique_time_s +. (Unix.gettimeofday () -. t0);
   notify `Arbitrary p result;
   result
+
+let solvable_arbitrary_ports ?max_expansions ?pool (p : Problem.t) =
+  Trace.with_span "zeroround.arbitrary_ports"
+    ~attrs:[ ("problem", p.name) ]
+    (fun () ->
+      let result = solvable_arbitrary_ports_impl ?max_expansions ?pool p in
+      Trace.counters
+        [
+          ("zeroround.clique_calls", stats.clique_calls);
+          ("zeroround.maximal_cliques", stats.maximal_cliques);
+          ("zeroround.bk_expansions", stats.bk_expansions);
+        ];
+      result)
 
 let randomized_failure_bound ?(limit = 2e6) p =
   match solvable_mirrored p with

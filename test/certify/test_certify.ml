@@ -284,6 +284,7 @@ let fuzz_qcheck =
 
 let () =
   Certify.Hooks.install_if_env ();
+  Trace.setup_from_env ();
   let qsuite name tests = (name, List.map Qseed.to_alcotest tests) in
   Alcotest.run "certify"
     [

@@ -1,0 +1,111 @@
+(* End-to-end tests of the roundelim binary's tracing interface,
+   driving the real executable (path in $ROUNDELIM, set by the dune
+   stanza).  The key regression: an unwritable --trace path must abort
+   with a clear error and exit code 2 before any engine work runs. *)
+
+let roundelim =
+  match Sys.getenv_opt "ROUNDELIM" with
+  | Some p -> p
+  | None -> Alcotest.fail "ROUNDELIM not set (run via dune runtest)"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Runs [roundelim args], returning (exit code, stdout, stderr). *)
+let run ?(env = []) args =
+  let out = Filename.temp_file "cli_out" ".txt" in
+  let err = Filename.temp_file "cli_err" ".txt" in
+  let env_prefix =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%s " k (Filename.quote v)) env)
+  in
+  let cmd =
+    Printf.sprintf "%s%s %s > %s 2> %s" env_prefix (Filename.quote roundelim)
+      args (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout, stderr)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_unwritable_trace_path () =
+  let code, stdout, stderr =
+    run "step -p mis -d 3 --trace /nonexistent-dir/trace.jsonl"
+  in
+  Alcotest.(check int) "exit code 2" 2 code;
+  Alcotest.(check bool) "clear error on stderr" true
+    (contains ~sub:"--trace: cannot open trace file" stderr);
+  (* The sink is opened before any engine work: no output was printed. *)
+  Alcotest.(check string) "no work before the failure" "" stdout
+
+let test_unwritable_env_trace_path () =
+  let code, _, stderr =
+    run
+      ~env:[ ("RELIM_TRACE", "/nonexistent-dir/trace.jsonl") ]
+      "step -p mis -d 3"
+  in
+  Alcotest.(check int) "exit code 2" 2 code;
+  Alcotest.(check bool) "names the env var" true
+    (contains ~sub:"RELIM_TRACE" stderr)
+
+let test_trace_jsonl_written () =
+  let path = Filename.temp_file "cli_trace" ".jsonl" in
+  let code, _, _ =
+    run (Printf.sprintf "step -p mis -d 3 --trace %s" (Filename.quote path))
+  in
+  Alcotest.(check int) "exit code 0" 0 code;
+  let trace = read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "jsonl object lines" true
+    (String.length trace > 0 && trace.[0] = '{');
+  Alcotest.(check bool) "engine spans recorded" true
+    (contains ~sub:"\"rounde.step\"" trace
+    && contains ~sub:"\"rounde.r_calls\"" trace)
+
+let test_trace_chrome_written () =
+  let path = Filename.temp_file "cli_trace" ".json" in
+  let code, _, _ =
+    run
+      (Printf.sprintf "step -p mis -d 3 --trace %s --trace-format chrome"
+         (Filename.quote path))
+  in
+  Alcotest.(check int) "exit code 0" 0 code;
+  let trace = read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "trace_event wrapper" true
+    (contains ~sub:"{\"traceEvents\":[" trace
+    && contains ~sub:"\"displayTimeUnit\":\"ms\"" trace);
+  Alcotest.(check bool) "begin/end phases present" true
+    (contains ~sub:"\"ph\":\"B\"" trace && contains ~sub:"\"ph\":\"E\"" trace)
+
+let test_bad_trace_format_rejected () =
+  let code, _, _ = run "step -p mis -d 3 --trace /tmp/x --trace-format xml" in
+  Alcotest.(check bool) "cmdliner usage error" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "trace-flag",
+        [
+          Alcotest.test_case "unwritable --trace path aborts early" `Quick
+            test_unwritable_trace_path;
+          Alcotest.test_case "unwritable RELIM_TRACE aborts early" `Quick
+            test_unwritable_env_trace_path;
+          Alcotest.test_case "jsonl trace written" `Quick
+            test_trace_jsonl_written;
+          Alcotest.test_case "chrome trace written" `Quick
+            test_trace_chrome_written;
+          Alcotest.test_case "bad --trace-format rejected" `Quick
+            test_bad_trace_format_rejected;
+        ] );
+    ]

@@ -2051,6 +2051,58 @@ let extra_suites =
                 check_bool "image solvable" true
                   (Zeroround.solvable_arbitrary_ports (image p k) <> None)
             | Upperbound.Unknown_after _ -> ());
+        Alcotest.test_case "max_steps clamps the search" `Quick (fun () ->
+            (* SO is never 0-round solvable, so the search must stop
+               exactly at the budget — including a budget of 0, which
+               forbids any speedup step. *)
+            let so = Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I" in
+            (match Upperbound.search ~max_steps:0 so with
+            | Upperbound.Unknown_after 0 -> ()
+            | Upperbound.Unknown_after k ->
+                Alcotest.failf "budget 0 but ran %d step(s)" k
+            | Upperbound.Solvable_in k ->
+                Alcotest.failf "SO cannot be %d-round solvable" k);
+            match Upperbound.search ~max_steps:2 so with
+            | Upperbound.Unknown_after 2 -> ()
+            | Upperbound.Unknown_after k ->
+                Alcotest.failf "budget 2 but stopped after %d step(s)" k
+            | Upperbound.Solvable_in k ->
+                Alcotest.failf "SO cannot be %d-round solvable" k);
+        Alcotest.test_case "expand_limit budget verdict" `Quick (fun () ->
+            (* A tiny expansion budget makes the first speedup step fail
+               its guard, so a not-0-round-solvable problem must come
+               back Unknown_after 0 instead of raising. *)
+            let mis =
+              Parse.problem ~name:"MIS" ~node:"M M M\nP O O" ~edge:"M [PO]\nO O"
+            in
+            match Upperbound.search ~max_steps:3 ~expand_limit:1. mis with
+            | Upperbound.Unknown_after 0 -> ()
+            | Upperbound.Unknown_after k ->
+                Alcotest.failf "budget verdict after %d step(s), expected 0" k
+            | Upperbound.Solvable_in k ->
+                Alcotest.failf "cannot certify Solvable_in %d without steps" k);
+        Alcotest.test_case "pool and sequential agree" `Quick (fun () ->
+            (* The search verdict is part of the engine's determinism
+               contract: a parallel pool must reproduce the sequential
+               answer exactly on every pinned problem. *)
+            let pool = Parallel.Pool.create ~domains:3 in
+            let problems =
+              [
+                Parse.problem ~name:"t" ~node:"A A A" ~edge:"A A";
+                Parse.problem ~name:"SO" ~node:"O [IO]^2" ~edge:"O I";
+                Parse.problem ~name:"p" ~node:"M M M\nP O O"
+                  ~edge:"M [PO]\nO O";
+              ]
+            in
+            List.iter
+              (fun p ->
+                let seq = Upperbound.search ~max_steps:2 p in
+                let par = Upperbound.search ~max_steps:2 ~pool p in
+                check_bool
+                  (Printf.sprintf "verdict on %s" p.Problem.name)
+                  true (seq = par))
+              problems;
+            Parallel.Pool.shutdown pool);
       ] );
   ]
 
@@ -2058,4 +2110,7 @@ let () =
   (* RELIM_CERTIFY=1 re-checks every engine output in this suite with
      the independent certifiers in lib/certify. *)
   Certify.Hooks.install_if_env ();
+  (* RELIM_TRACE=<path> records an execution trace of the whole suite
+     (the CI trace leg exercises this). *)
+  Trace.setup_from_env ();
   Alcotest.run "relim" (main_suites @ extra_suites)

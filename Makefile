@@ -1,5 +1,5 @@
 .PHONY: all build test check bench bench-smoke fuzz-smoke examples-smoke \
-	trace-smoke clean
+	trace-smoke daemond-smoke clean
 
 all: build
 
@@ -21,12 +21,21 @@ bench:
 # engine per-step statistics section (which exercises the lattice-native
 # R/Rbar pipeline end to end and rewrites BENCH_relim.json) and checks
 # that the hand-assembled JSON dump is well-formed and carries the
-# environment meta block (domains, OCaml version, dune profile).
+# environment meta block (domains, OCaml version, dune profile) and the
+# roundelimd load-generator section.
 bench-smoke:
 	dune build bench
 	dune exec bench/main.exe -- relim_perf
-	dune exec bench/validate_json.exe -- --require-meta BENCH_relim.json
+	dune exec bench/validate_json.exe -- --require-meta --require-daemon BENCH_relim.json
 	dune exec bench/validate_trace.exe -- BENCH_trace.jsonl
+
+# End-to-end smoke of the round-elimination daemon and its
+# certificate-gated result store: cold batch, garbage rejection, kill -9,
+# on-disk corruption caught by validate-store (--strict exits non-zero),
+# and a warm restart whose responses are byte-identical to the cold run.
+daemond-smoke:
+	dune build bin
+	sh scripts/daemond_smoke.sh
 
 # Tracing smoke: run the pipeline under both sinks (the --trace flag
 # and the RELIM_TRACE env var) and validate the emitted traces against

@@ -889,6 +889,178 @@ let measure_steps ?pool name p ~max_steps =
   go p 1;
   (name, List.rev !rows)
 
+(* ------------------------------------------------------------------ *)
+(* P3: roundelimd load generator                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Thousands of pipelined mixed requests against an in-process daemon,
+   cold (empty store: every distinct problem runs the engine and is
+   admitted with its certificate) and warm (fresh daemon over the
+   populated store: first occurrences re-validate and serve from
+   disk).  Responses are checked for success and for warm/cold byte
+   identity modulo the "cached" flag. *)
+let daemon_bench () =
+  let base =
+    let f = Filename.temp_file "relimd-bench" "" in
+    Sys.remove f;
+    Unix.mkdir f 0o700;
+    f
+  in
+  let sock = Filename.concat base "d.sock" in
+  let store_dir = Filename.concat base "store" in
+  let text p = Relim.Serialize.to_string p in
+  let trivial = Relim.Parse.problem ~name:"t" ~node:"A A" ~edge:"A A" in
+  let presets =
+    [
+      ("step", text (Lcl.Encodings.mis ~delta:3));
+      ("step", text (Lcl.Encodings.sinkless_orientation ~delta:3));
+      ("step", text (Core.Family.pi { Core.Family.delta = 4; a = 3; x = 1 }));
+      ("step", text trivial);
+      ("fixed-point", text (Lcl.Encodings.sinkless_orientation ~delta:3));
+      ("fixed-point", text trivial);
+    ]
+  in
+  let total = 2048 and conns_n = 32 in
+  let request_line i =
+    let op, problem = List.nth presets (i mod List.length presets) in
+    Store.Json.(
+      to_string
+        (Obj
+           [
+             ("id", Int i); ("op", String op); ("problem", String problem);
+           ]))
+  in
+  let spawn () =
+    let stop = Atomic.make false in
+    let config =
+      {
+        Store.Daemon.default_config with
+        Store.Daemon.listen = [ Store.Daemon.Unix_socket sock ];
+        store_dir = Some store_dir;
+      }
+    in
+    ( Domain.spawn (fun () ->
+          Store.Daemon.serve ~stop:(fun () -> Atomic.get stop) config),
+      stop )
+  in
+  let connect () =
+    match Store.Client.connect ~retries:200 (`Unix sock) with
+    | Ok c -> c
+    | Error m -> failwith ("daemon bench: cannot connect: " ^ m)
+  in
+  let run_workload () =
+    let conns = Array.init conns_n (fun _ -> connect ()) in
+    let responses = Array.make total "" in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to total - 1 do
+      match Store.Client.send_line conns.(i mod conns_n) (request_line i) with
+      | Ok () -> ()
+      | Error m -> failwith ("daemon bench: send: " ^ m)
+    done;
+    for i = 0 to total - 1 do
+      match Store.Client.recv_line conns.(i mod conns_n) with
+      | Ok r -> responses.(i) <- r
+      | Error m -> failwith ("daemon bench: recv: " ^ m)
+    done;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Array.iter Store.Client.close conns;
+    let contains sub s =
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    let ok =
+      Array.fold_left
+        (fun acc r -> if contains "\"ok\":true" r then acc + 1 else acc)
+        0 responses
+    in
+    (wall_s, ok, responses)
+  in
+  (* Store counters as the daemon reports them over the wire. *)
+  let store_counters c =
+    match Store.Client.request c {|{"id":"stats","op":"stats"}|} with
+    | Error m -> failwith ("daemon bench: stats: " ^ m)
+    | Ok line -> (
+        match Store.Json.of_string line with
+        | Error m -> failwith ("daemon bench: stats response: " ^ m)
+        | Ok j ->
+            let get k =
+              Option.bind (Store.Json.member "result" j) (fun r ->
+                  Option.bind (Store.Json.member "store" r) (fun s ->
+                      Option.bind (Store.Json.member k s) Store.Json.int_opt))
+              |> Option.value ~default:(-1)
+            in
+            (get "hits", get "misses", get "admitted"))
+  in
+  let lifetime () =
+    let d, _stop = spawn () in
+    let wall_s, ok, responses = run_workload () in
+    let c = connect () in
+    let hits, misses, admitted = store_counters c in
+    (match Store.Client.request c {|{"id":"bye","op":"shutdown"}|} with
+    | Ok _ -> ()
+    | Error m -> failwith ("daemon bench: shutdown: " ^ m));
+    Store.Client.close c;
+    Domain.join d;
+    (wall_s, ok, responses, (hits, misses, admitted))
+  in
+  let cold_wall, cold_ok, cold_resp, (cold_hits, cold_misses, cold_admitted) =
+    lifetime ()
+  in
+  let warm_wall, warm_ok, warm_resp, (warm_hits, warm_misses, warm_admitted) =
+    lifetime ()
+  in
+  (* Byte identity modulo the cache flag. *)
+  let uncache s =
+    let sub = "\"cached\":true" and rep = "\"cached\":false" in
+    let n = String.length sub in
+    let rec find i =
+      if i + n > String.length s then None
+      else if String.sub s i n = sub then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some i ->
+        String.sub s 0 i ^ rep ^ String.sub s (i + n) (String.length s - i - n)
+    | None -> s
+  in
+  let byte_identical = ref true in
+  Array.iteri
+    (fun i cold ->
+      if uncache cold <> uncache warm_resp.(i) then byte_identical := false)
+    cold_resp;
+  let rate wall = float_of_int total /. wall in
+  result
+    "@.roundelimd load generator: %d requests (%d distinct problems) over %d \
+     connections@."
+    total (List.length presets) conns_n;
+  result
+    "  cold store: %8.3f ms wall  %9.0f req/s  %d ok  store %d hits / %d \
+     misses / %d admitted@."
+    (1e3 *. cold_wall) (rate cold_wall) cold_ok cold_hits cold_misses
+    cold_admitted;
+  result
+    "  warm store: %8.3f ms wall  %9.0f req/s  %d ok  store %d hits / %d \
+     misses / %d admitted@."
+    (1e3 *. warm_wall) (rate warm_wall) warm_ok warm_hits warm_misses
+    warm_admitted;
+  result
+    "  warm speedup %.2fx; warm byte-identical to cold (modulo cache flag): \
+     %b@."
+    (cold_wall /. warm_wall) !byte_identical;
+  Printf.sprintf
+    "  \"daemon\": { \"requests\": %d, \"connections\": %d, \
+     \"distinct_problems\": %d,\n\
+    \    \"cold\": { \"wall_s\": %.6f, \"req_per_s\": %.1f, \"ok\": %d, \
+     \"store_hits\": %d, \"store_misses\": %d, \"store_admitted\": %d },\n\
+    \    \"warm\": { \"wall_s\": %.6f, \"req_per_s\": %.1f, \"ok\": %d, \
+     \"store_hits\": %d, \"store_misses\": %d, \"store_admitted\": %d },\n\
+    \    \"warm_speedup\": %.3f, \"warm_byte_identical\": %b },\n"
+    total conns_n (List.length presets) cold_wall (rate cold_wall) cold_ok
+    cold_hits cold_misses cold_admitted warm_wall (rate warm_wall) warm_ok
+    warm_hits warm_misses warm_admitted (cold_wall /. warm_wall)
+    !byte_identical
+
 let relim_perf () =
   section "P2" "Engine per-step statistics (R closed-set enumeration + memoized driver)";
   let mis = measure_steps "MIS (Delta=3)" (Lcl.Encodings.mis ~delta:3) ~max_steps:4 in
@@ -1120,6 +1292,9 @@ let relim_perf () =
     (trace_off_s /. wall_1)
     (1e3 *. trace_on_s)
     (trace_on_s /. trace_off_s);
+  (* Daemon load generator (P3): measured here so the numbers land in
+     the same BENCH_relim.json dump. *)
+  let daemon_json = daemon_bench () in
   (* JSON dump. *)
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"bench\": \"relim\",\n";
@@ -1204,6 +1379,7 @@ let relim_perf () =
         %.6f }\n\
        \  },\n"
        steps1 hits1 misses1 time1 norm1 steps2 hits2 misses2 time2 norm2);
+  Buffer.add_string buf daemon_json;
   Buffer.add_string buf
     (Printf.sprintf
        "  \"trace_overhead\": { \"problem\": \"Pi(5,4,2) step 1\", \"runs\": \

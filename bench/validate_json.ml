@@ -11,13 +11,30 @@
    With --require-meta, each file must additionally be an object with a
    "meta" member recording the benchmark environment (domains,
    ocaml_version, dune_profile at least), so runs from different
-   configurations can be told apart after the fact. *)
+   configurations can be told apart after the fact.
+
+   With --require-daemon, each file must carry a "daemon" object — the
+   roundelimd load-generator section — with the cold/warm throughput
+   members `make daemond-smoke` and EXPERIMENTS.md key on. *)
 
 exception Bad of int * string
 
 (* Member names of the "meta" object every dump must carry under
    --require-meta. *)
 let required_meta_keys = [ "domains"; "ocaml_version"; "dune_profile" ]
+
+(* Member names of the "daemon" object every dump must carry under
+   --require-daemon. *)
+let required_daemon_keys =
+  [
+    "requests";
+    "connections";
+    "distinct_problems";
+    "cold";
+    "warm";
+    "warm_speedup";
+    "warm_byte_identical";
+  ]
 
 (* Validates [s] and returns (top-level object keys, keys of the
    top-level "meta" object) — both empty when the value is not an
@@ -111,11 +128,13 @@ let validate (s : string) =
         digits ()
     | _ -> ()
   in
-  let root_keys = ref [] and meta_keys = ref [] in
-  (* [depth] is the object-nesting depth of this value; [in_meta] marks
-     the value of the top-level "meta" member, whose own keys are
-     collected for the --require-meta check. *)
-  let rec value ~depth ~in_meta =
+  let root_keys = ref [] in
+  let section_keys = Hashtbl.create 4 in
+  (* [depth] is the object-nesting depth of this value; [in_section]
+     names the top-level member ("meta", "daemon") whose own keys are
+     collected for the --require-* checks. *)
+  let tracked_sections = [ "meta"; "daemon" ] in
+  let rec value ~depth ~in_section =
     skip_ws ();
     match peek () with
     | Some '"' -> ignore (string_body ())
@@ -128,11 +147,18 @@ let validate (s : string) =
             skip_ws ();
             let key = string_body () in
             if depth = 0 then root_keys := key :: !root_keys;
-            if in_meta then meta_keys := key :: !meta_keys;
+            (match in_section with
+            | Some s ->
+                Hashtbl.replace section_keys s
+                  (key
+                  :: Option.value ~default:[] (Hashtbl.find_opt section_keys s))
+            | None -> ());
             skip_ws ();
             expect ':';
             value ~depth:(depth + 1)
-              ~in_meta:(depth = 0 && String.equal key "meta");
+              ~in_section:
+                (if depth = 0 && List.mem key tracked_sections then Some key
+                 else None);
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -150,7 +176,7 @@ let validate (s : string) =
         else begin
           let rec elements () =
             (* Array elements are never THE root object. *)
-            value ~depth:(depth + 1) ~in_meta:false;
+            value ~depth:(depth + 1) ~in_section:None;
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -168,10 +194,13 @@ let validate (s : string) =
     | Some c -> fail (Printf.sprintf "unexpected character %c" c)
     | None -> fail "empty input"
   in
-  value ~depth:0 ~in_meta:false;
+  value ~depth:0 ~in_section:None;
   skip_ws ();
   if !pos <> n then fail "trailing garbage after the JSON value";
-  (List.rev !root_keys, List.rev !meta_keys)
+  let keys_of s =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt section_keys s))
+  in
+  (List.rev !root_keys, keys_of "meta", keys_of "daemon")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -187,36 +216,47 @@ let () =
     | [] -> []
   in
   let require_meta = List.mem "--require-meta" args in
-  let files = List.filter (fun a -> a <> "--require-meta") args in
+  let require_daemon = List.mem "--require-daemon" args in
+  let files =
+    List.filter
+      (fun a -> a <> "--require-meta" && a <> "--require-daemon")
+      args
+  in
   if files = [] then begin
-    prerr_endline "usage: validate_json [--require-meta] FILE.json ...";
+    prerr_endline
+      "usage: validate_json [--require-meta] [--require-daemon] FILE.json ...";
     exit 2
   end;
   let failed = ref false in
   List.iter
     (fun path ->
       match validate (read_file path) with
-      | root_keys, meta_keys ->
-          if require_meta then
-            if not (List.mem "meta" root_keys) then begin
-              failed := true;
-              Printf.eprintf "%s: missing top-level \"meta\" object\n" path
+      | root_keys, meta_keys, daemon_keys ->
+          (* One required-section check, shared by meta and daemon. *)
+          let file_ok = ref true in
+          let check_section name keys required =
+            if not (List.mem name root_keys) then begin
+              file_ok := false;
+              Printf.eprintf "%s: missing top-level %S object\n" path name
             end
-            else begin
+            else
               let missing =
-                List.filter
-                  (fun k -> not (List.mem k meta_keys))
-                  required_meta_keys
+                List.filter (fun k -> not (List.mem k keys)) required
               in
               if missing <> [] then begin
-                failed := true;
-                Printf.eprintf "%s: \"meta\" lacks required key(s): %s\n" path
+                file_ok := false;
+                Printf.eprintf "%s: %S lacks required key(s): %s\n" path name
                   (String.concat ", " missing)
               end
-              else
-                Printf.printf "%s: well-formed JSON with complete meta\n" path
-            end
-          else Printf.printf "%s: well-formed JSON\n" path
+          in
+          if require_meta then check_section "meta" meta_keys required_meta_keys;
+          if require_daemon then
+            check_section "daemon" daemon_keys required_daemon_keys;
+          if not !file_ok then failed := true
+          else
+            Printf.printf "%s: well-formed JSON%s%s\n" path
+              (if require_meta then " with complete meta" else "")
+              (if require_daemon then " and daemon section" else "")
       | exception Bad (pos, msg) ->
           failed := true;
           Printf.eprintf "%s: invalid JSON at byte %d: %s\n" path pos msg

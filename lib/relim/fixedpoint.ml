@@ -7,6 +7,7 @@ type stats = {
   mutable steps_applied : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable hash_conflicts : int;
   mutable step_time_s : float;
   mutable normalize_time_s : float;
 }
@@ -16,6 +17,7 @@ let stats =
     steps_applied = 0;
     cache_hits = 0;
     cache_misses = 0;
+    hash_conflicts = 0;
     step_time_s = 0.;
     normalize_time_s = 0.;
   }
@@ -24,6 +26,7 @@ let reset_stats () =
   stats.steps_applied <- 0;
   stats.cache_hits <- 0;
   stats.cache_misses <- 0;
+  stats.hash_conflicts <- 0;
   stats.step_time_s <- 0.;
   stats.normalize_time_s <- 0.
 
@@ -52,12 +55,35 @@ let same_problem (a : Problem.t) (b : Problem.t) =
    && Constr.equal a.node b.node && Constr.equal a.edge b.edge)
   || Iso.equal_up_to_renaming a b
 
+(* Scan a bucket for an entry isomorphic to [p], counting the bucket
+   entries that share [p]'s invariant hash but fail the isomorphism
+   check.  [Iso.invariant_hash] is only ~64 bits of structure folded
+   through [Hashtbl.hash]'s bounded traversal, so genuine collisions
+   between non-isomorphic problems occur (see the engineered pair in
+   the regression tests); trusting the hash alone would silently serve
+   the wrong step result.  The conflict counter makes every such
+   near-miss observable in [stats] and in the trace. *)
+let bucket_find (p : Problem.t) entries =
+  let rec scan skipped = function
+    | [] ->
+        stats.hash_conflicts <- stats.hash_conflicts + skipped;
+        None
+    | (q, next) :: rest ->
+        if same_problem q p then begin
+          stats.hash_conflicts <- stats.hash_conflicts + skipped;
+          Some next
+        end
+        else scan (skipped + 1) rest
+  in
+  scan 0 entries
+
 let sample_counters () =
   Trace.counters
     [
       ("fixedpoint.steps_applied", stats.steps_applied);
       ("fixedpoint.cache_hits", stats.cache_hits);
       ("fixedpoint.cache_misses", stats.cache_misses);
+      ("fixedpoint.hash_conflicts", stats.hash_conflicts);
     ]
 
 let step_normalized ?expand_limit ?pool (p : Problem.t) =
@@ -75,8 +101,8 @@ let step_normalized ?expand_limit ?pool (p : Problem.t) =
         Hashtbl.add memo key b;
         b
   in
-  match List.find_opt (fun (q, _) -> same_problem q p) !bucket with
-  | Some (_, next) ->
+  match bucket_find p !bucket with
+  | Some next ->
       stats.cache_hits <- stats.cache_hits + 1;
       next
   | None ->

@@ -51,6 +51,12 @@ type stats = {
   mutable steps_applied : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable hash_conflicts : int;
+      (** Bucket entries whose {!Iso.invariant_hash} matched the query
+          but which failed the in-bucket isomorphism check — i.e. hash
+          collisions between non-isomorphic problems that the cache
+          survived rather than trusted.  Also mirrored into the trace
+          as [fixedpoint.hash_conflicts]. *)
   mutable step_time_s : float;
   mutable normalize_time_s : float;
 }

@@ -1,12 +1,44 @@
 let env_var = "RELIM_DOMAINS"
 
-let domains_from_env () =
-  match Sys.getenv_opt env_var with
-  | None -> 1
+(* A value is either absent, a well-formed positive domain count, or
+   malformed (non-integer, zero or negative) — malformed values fall
+   back to 1 but, unlike absence, deserve a warning: the user tried to
+   configure parallelism and got silent sequential execution instead. *)
+type parsed = Unset | Domains of int | Malformed of string
+
+let parse_env = function
+  | None -> Unset
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some d when d >= 1 -> d
-      | Some _ | None -> 1)
+      | Some d when d >= 1 -> Domains d
+      | Some _ | None -> Malformed s)
+
+(* Warnings are routed through a hook so tests can capture them without
+   scraping the process's own stderr.  The default prints to stderr. *)
+let warn_hook : (string -> unit) ref =
+  ref (fun msg -> Printf.eprintf "%s\n%!" msg)
+
+let warned = ref false
+
+let warn_once msg =
+  if not !warned then begin
+    warned := true;
+    !warn_hook msg
+  end
+
+let reset_warned () = warned := false
+
+let domains_from_env () =
+  match parse_env (Sys.getenv_opt env_var) with
+  | Unset -> 1
+  | Domains d -> d
+  | Malformed s ->
+      warn_once
+        (Printf.sprintf
+           "relim: warning: %s=%S is not a positive integer; running with 1 \
+            domain"
+           env_var s);
+      1
 
 let default_pool =
   lazy (Parallel.Pool.create ~domains:(domains_from_env ()))

@@ -13,9 +13,29 @@
 (** Name of the environment variable: ["RELIM_DOMAINS"]. *)
 val env_var : string
 
+(** How a raw environment value reads: absent, a valid positive domain
+    count, or malformed (non-integer, zero or negative — the original
+    string is kept for the warning). *)
+type parsed = Unset | Domains of int | Malformed of string
+
+(** Pure classification of [Sys.getenv_opt env_var]'s result; no
+    warning side effect. *)
+val parse_env : string option -> parsed
+
 (** Domain count requested by the environment ([>= 1]; [1] when the
-    variable is unset or invalid). *)
+    variable is unset or invalid).  A malformed value — [Malformed] per
+    {!parse_env} — additionally emits a single warning through
+    {!warn_hook} for the whole process lifetime: the user asked for
+    parallelism and is silently getting none. *)
 val domains_from_env : unit -> int
+
+(** Warning sink used by {!domains_from_env}; defaults to printing the
+    message on stderr.  Tests may replace it to capture the warning. *)
+val warn_hook : (string -> unit) ref
+
+(** Test-only: forget that the once-per-process warning was already
+    emitted, so the next malformed read warns again. *)
+val reset_warned : unit -> unit
 
 (** The process-wide default pool.  Created lazily from
     {!domains_from_env} on first use. *)

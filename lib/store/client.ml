@@ -1,0 +1,47 @@
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let connect ?(retries = 0) target =
+  let addr, domain =
+    match target with
+    | `Unix path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | `Tcp port ->
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, port), Unix.PF_INET)
+  in
+  let rec attempt left =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Ok { fd; ic = Unix.in_channel_of_descr fd }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if left > 0 then begin
+          Unix.sleepf 0.05;
+          attempt (left - 1)
+        end
+        else Error (Unix.error_message e)
+  in
+  attempt retries
+
+let send_line t line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write t.fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+let recv_line t =
+  match input_line t.ic with
+  | line -> Ok line
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error m -> Error m
+
+let request t line =
+  match send_line t line with Error _ as e -> e | Ok () -> recv_line t
+
+let close t =
+  (* [close_in] closes the underlying fd too. *)
+  try close_in t.ic with Sys_error _ -> ()

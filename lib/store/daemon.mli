@@ -1,0 +1,58 @@
+(** The [roundelimd] server: JSON-lines round elimination over a Unix
+    socket (and optionally TCP on loopback), backed by the
+    certificate-gated result {!Store}.
+
+    {2 Request lifecycle}
+
+    The event loop ([Unix.select]) drains every complete request line
+    that has arrived, then processes the whole set as one {e batch}:
+
+    {ul
+    {- a {e parallel prepare phase} — decoding, problem parsing and
+       canonicalization (pure work) — fans out over the configured
+       {!Parallel.Pool} via [Pool.map];}
+    {- a {e sequential compute phase} walks the batch in arrival
+       order: requests for the same canonical problem are deduplicated
+       (computed once, answered everywhere), store hits are served
+       from disk, and misses run the engine — which parallelizes
+       internally over the same pool ([Rounde.rbar]'s box search), so
+       the engine's process-global statistics are never touched from
+       two domains at once.}}
+
+    Responses are written per connection in request order.
+
+    {2 Canonicalization}
+
+    Input problems are canonicalized by iterating
+    [Serialize.of_string ∘ Serialize.to_string] to a textual fixed
+    point (reached after one round; the parser assigns label indices
+    by first appearance, which re-serialization then preserves).  The
+    canonical text is the store key, so a byte-identical request warm
+    from the store returns a byte-identical result to the cold
+    computation that populated it.
+
+    {2 Hardening}
+
+    Garbage, truncated or oversized request lines yield structured
+    error responses (oversized ones close the connection afterwards —
+    the daemon never buffers unboundedly); engine budget failures
+    come back as [engine-error]; a client disconnecting mid-response
+    is dropped without disturbing the loop ([SIGPIPE] is ignored). *)
+
+type listen = Unix_socket of string | Tcp of int  (** loopback only *)
+
+type config = {
+  listen : listen list;
+  store_dir : string option;  (** [None] disables the on-disk store. *)
+  pool : Parallel.Pool.t option;
+      (** [None] means {!Relim.Parctl.default}. *)
+  max_line : int;  (** Max request-line bytes (default 8 MiB). *)
+}
+
+val default_config : config
+
+(** Run the server until a [shutdown] request arrives or [stop ()]
+    turns true (polled between select rounds; used by in-process
+    harnesses).  Listening sockets are closed — and Unix socket paths
+    unlinked — on the way out. *)
+val serve : ?stop:(unit -> bool) -> config -> unit

@@ -1,0 +1,37 @@
+(** Minimal JSON for the daemon wire protocol.
+
+    Dependency-free (the container image carries no JSON library), so
+    this module hand-rolls an RFC 8259 subset: the printer emits
+    compact one-line documents (never a raw newline — a requirement of
+    the JSON-lines protocol) and the parser is total, returning
+    [Error] on malformed input rather than raising.  Numbers without a
+    fraction or exponent that fit in an OCaml [int] parse as [Int];
+    everything else numeric parses as [Float].  String escapes cover
+    the RFC set including [\uXXXX] (with surrogate pairs), decoded to
+    UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact printing; object fields keep construction order, so equal
+    values built the same way print byte-identically (the determinism
+    contract the daemon's warm/cold tests rely on).  Non-finite floats
+    print as [null]. *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+(** [member k j] is the value of field [k] when [j] is an object. *)
+val member : string -> t -> t option
+
+val string_opt : t -> string option
+
+val int_opt : t -> int option
+
+val bool_opt : t -> bool option

@@ -1,0 +1,85 @@
+type request =
+  | Step of { id : Json.t; problem : string }
+  | Fixed_point of { id : Json.t; problem : string; max_steps : int option }
+  | Ping of { id : Json.t }
+  | Stats of { id : Json.t }
+  | Shutdown of { id : Json.t }
+
+let request_id = function
+  | Step { id; _ }
+  | Fixed_point { id; _ }
+  | Ping { id }
+  | Stats { id }
+  | Shutdown { id } ->
+      id
+
+type error_code = Parse_error | Bad_request | Engine_error | Internal_error
+
+let code_string = function
+  | Parse_error -> "parse-error"
+  | Bad_request -> "bad-request"
+  | Engine_error -> "engine-error"
+  | Internal_error -> "internal-error"
+
+let decode line =
+  match Json.of_string line with
+  | Error msg -> Error (Json.Null, Parse_error, "not valid JSON: " ^ msg)
+  | Ok json -> (
+      let id = Option.value ~default:Json.Null (Json.member "id" json) in
+      match json with
+      | Json.Obj _ -> (
+          let problem () =
+            match Option.bind (Json.member "problem" json) Json.string_opt with
+            | Some p when String.trim p <> "" -> Ok p
+            | Some _ -> Error "empty \"problem\" field"
+            | None -> Error "missing string field \"problem\""
+          in
+          match Option.bind (Json.member "op" json) Json.string_opt with
+          | Some "step" -> (
+              match problem () with
+              | Ok problem -> Ok (Step { id; problem })
+              | Error m -> Error (id, Bad_request, m))
+          | Some "fixed-point" -> (
+              match problem () with
+              | Error m -> Error (id, Bad_request, m)
+              | Ok problem -> (
+                  match Json.member "max_steps" json with
+                  | None ->
+                      Ok (Fixed_point { id; problem; max_steps = None })
+                  | Some v -> (
+                      match Json.int_opt v with
+                      | Some k when k >= 1 ->
+                          Ok (Fixed_point { id; problem; max_steps = Some k })
+                      | _ ->
+                          Error
+                            (id, Bad_request, "\"max_steps\" must be an integer >= 1"))))
+          | Some "ping" -> Ok (Ping { id })
+          | Some "stats" -> Ok (Stats { id })
+          | Some "shutdown" -> Ok (Shutdown { id })
+          | Some op -> Error (id, Bad_request, Printf.sprintf "unknown op %S" op)
+          | None -> Error (id, Bad_request, "missing string field \"op\""))
+      | _ -> Error (id, Bad_request, "request must be a JSON object"))
+
+let error_line ~id code message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.String (code_string code));
+               ("message", Json.String message);
+             ] );
+       ])
+
+let ok_line ~id ?cached fields =
+  let cached_field =
+    match cached with Some b -> [ ("cached", Json.Bool b) ] | None -> []
+  in
+  Json.to_string
+    (Json.Obj
+       ([ ("id", id); ("ok", Json.Bool true) ]
+       @ cached_field
+       @ [ ("result", Json.Obj fields) ]))

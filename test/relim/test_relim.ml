@@ -1746,6 +1746,136 @@ let test_fixedpoint_normalize_timer () =
   Fixedpoint.clear_cache ()
 
 (* ------------------------------------------------------------------ *)
+(* Fixedpoint memo under hash collisions                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Two non-isomorphic 5-label problems engineered to share an
+   [Iso.invariant_hash]: [Hashtbl.hash]'s bounded traversal stops
+   before it reaches the part of the sorted signature list where the
+   edge constraints differ (one self-loop line vs. a wildcard line).
+   Both survive [Simplify.normalize] still colliding, which is what
+   the memo-cache lookup keys on.  Five labels keeps the bijection
+   search in [Iso.equal_up_to_renaming] trivial (≤ 120 candidates), so
+   proving the pair non-isomorphic stays fast. *)
+let collision_pair () =
+  let mk name self_loop =
+    let k = 5 in
+    let names = List.init k (fun i -> Printf.sprintf "l%d" i) in
+    let node =
+      String.concat "\n"
+        (List.mapi
+           (fun i n ->
+             Printf.sprintf "%s %s" n (List.nth names ((i + 1) mod k)))
+           names)
+    in
+    let edge =
+      String.concat "\n"
+        (List.mapi
+           (fun i n ->
+             if self_loop && i = 0 then Printf.sprintf "%s %s" n n
+             else Printf.sprintf "%s [%s]" n (String.concat " " names))
+           names)
+    in
+    Parse.problem ~name ~node ~edge
+  in
+  (mk "collA" false, mk "collB" true)
+
+let test_collision_pair_is_engineered () =
+  let a, b = collision_pair () in
+  check_int "same invariant hash" (Iso.invariant_hash a) (Iso.invariant_hash b);
+  check_bool "but not isomorphic" false (Iso.equal_up_to_renaming a b);
+  (* The memo keys on the *normalized* problems — the collision must
+     survive normalization for the regression test to mean anything. *)
+  let na = Simplify.normalize a and nb = Simplify.normalize b in
+  check_int "normalized: same hash" (Iso.invariant_hash na)
+    (Iso.invariant_hash nb);
+  check_bool "normalized: not isomorphic" false (Iso.equal_up_to_renaming na nb)
+
+(* Regression: a hash-trusting cache would serve collA's step result
+   for collB (1 hit / 1 miss).  The sound cache confirms candidates
+   with [Iso.equal_up_to_renaming], so both problems miss, and the
+   rejected candidate is counted in [hash_conflicts]. *)
+let test_fixedpoint_cache_hash_collision () =
+  Fixedpoint.clear_cache ();
+  Fixedpoint.reset_stats ();
+  let a, b = collision_pair () in
+  ignore (Fixedpoint.detect ~max_steps:1 a);
+  ignore (Fixedpoint.detect ~max_steps:1 b);
+  let s = Fixedpoint.stats in
+  check_int "both colliding problems computed fresh" 2
+    s.Fixedpoint.cache_misses;
+  check_int "no false cache hit across the collision" 0
+    s.Fixedpoint.cache_hits;
+  check_bool "rejected in-bucket candidate counted" true
+    (s.Fixedpoint.hash_conflicts >= 1);
+  (* Replays of the exact same inputs do hit, despite sharing the
+     bucket — the iso confirmation finds the right entry. *)
+  ignore (Fixedpoint.detect ~max_steps:1 a);
+  ignore (Fixedpoint.detect ~max_steps:1 b);
+  check_int "identical replays served from cache" 2
+    Fixedpoint.stats.Fixedpoint.cache_hits;
+  check_int "no extra misses on replay" 2
+    Fixedpoint.stats.Fixedpoint.cache_misses;
+  Fixedpoint.clear_cache ()
+
+(* ------------------------------------------------------------------ *)
+(* Parctl: RELIM_DOMAINS parsing and the once-per-process warning      *)
+(* ------------------------------------------------------------------ *)
+
+let test_parctl_parse_env () =
+  let check_parsed msg exp got =
+    check_bool msg true (exp = got)
+  in
+  check_parsed "absent" Parctl.Unset (Parctl.parse_env None);
+  check_parsed "plain count" (Parctl.Domains 4) (Parctl.parse_env (Some "4"));
+  check_parsed "whitespace tolerated" (Parctl.Domains 8)
+    (Parctl.parse_env (Some "  8 "));
+  check_parsed "zero is malformed" (Parctl.Malformed "0")
+    (Parctl.parse_env (Some "0"));
+  check_parsed "negative is malformed" (Parctl.Malformed "-3")
+    (Parctl.parse_env (Some "-3"));
+  check_parsed "non-integer is malformed" (Parctl.Malformed "many")
+    (Parctl.parse_env (Some "many"));
+  check_parsed "empty is malformed" (Parctl.Malformed "")
+    (Parctl.parse_env (Some ""))
+
+(* Both paths of [domains_from_env]: a malformed value falls back to 1
+   domain and warns exactly once per process (not once per read); a
+   valid value is honoured silently. *)
+let test_parctl_warns_once () =
+  let original = Sys.getenv_opt Parctl.env_var in
+  let saved_hook = !Parctl.warn_hook in
+  let captured = ref [] in
+  Parctl.warn_hook := (fun msg -> captured := msg :: !captured);
+  Fun.protect
+    ~finally:(fun () ->
+      Parctl.warn_hook := saved_hook;
+      (* [putenv] cannot unset; restore the original value, or a
+         well-formed "1" (behaviourally identical to unset). *)
+      Unix.putenv Parctl.env_var (Option.value original ~default:"1"))
+  @@ fun () ->
+  (* Malformed path. *)
+  Parctl.reset_warned ();
+  Unix.putenv Parctl.env_var "banana";
+  check_int "malformed falls back to 1 domain" 1 (Parctl.domains_from_env ());
+  check_int "second read also 1" 1 (Parctl.domains_from_env ());
+  check_int "exactly one warning across both reads" 1 (List.length !captured);
+  let msg = List.hd !captured in
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  check_bool "warning names the variable" true (contains Parctl.env_var msg);
+  check_bool "warning quotes the bad value" true (contains "banana" msg);
+  (* Valid path: honoured, and never warns. *)
+  Parctl.reset_warned ();
+  captured := [];
+  Unix.putenv Parctl.env_var "3";
+  check_int "valid count honoured" 3 (Parctl.domains_from_env ());
+  check_int "no warning for a valid value" 0 (List.length !captured)
+
+(* ------------------------------------------------------------------ *)
 (* Pretty-printer / parser round trips                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1963,6 +2093,17 @@ let extra_suites =
           test_fixedpoint_cache_isomorphic_input;
         Alcotest.test_case "normalize timer" `Quick
           test_fixedpoint_normalize_timer;
+        Alcotest.test_case "engineered hash collision pair" `Quick
+          test_collision_pair_is_engineered;
+        Alcotest.test_case "cache sound under hash collision" `Quick
+          test_fixedpoint_cache_hash_collision;
+      ] );
+    ( "parctl",
+      [
+        Alcotest.test_case "parse_env classification" `Quick
+          test_parctl_parse_env;
+        Alcotest.test_case "malformed warns exactly once" `Quick
+          test_parctl_warns_once;
       ] );
     ( "parse-strict",
       [

@@ -1,5 +1,5 @@
 .PHONY: all build test check bench bench-smoke fuzz-smoke examples-smoke \
-	trace-smoke daemond-smoke clean
+	trace-smoke daemond-smoke autopilot-smoke clean
 
 all: build
 
@@ -49,6 +49,17 @@ trace-smoke:
 	dune exec bench/validate_trace.exe -- --chrome trace_smoke.json
 	RELIM_TRACE=trace_smoke_env.jsonl dune exec bin/roundelim.exe -- fixed-point -p pi -d 5 -a 4 -x 2 --max-steps 1 --domains 2 > /dev/null
 	dune exec bench/validate_trace.exe -- trace_smoke_env.jsonl
+
+# Autopilot smoke: rediscover the sinkless-orientation fixed point
+# through the certified relaxation search (CLI, with the certifier
+# hooks on), then run the autopilot benchmark section — the SO
+# rediscovery plus the Pi(5,4,2) budget-wall upper bound — and check
+# that its section landed in BENCH_relim.json.
+autopilot-smoke:
+	dune build bin bench
+	dune exec bin/roundelim.exe -- autopilot -p so -d 3 --certify
+	dune exec bench/main.exe -- autopilot
+	dune exec bench/validate_json.exe -- --require-autopilot BENCH_relim.json
 
 # Differential fuzzing smoke, pinned and CI-sized (well under 30s): 500
 # random problems through the optimized pipeline with every output

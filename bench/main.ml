@@ -882,6 +882,9 @@ let measure_steps ?pool name p ~max_steps =
             row.box_dom_cheap_skips row.box_transport_calls
             row.transport_cache_hits;
           go (Relim.Simplify.normalize next) (i + 1)
+      | exception Relim.Budget.Budget_exceeded { budget; limit } ->
+          result "  step %d: stopped — %s@." i
+            (Relim.Budget.message ~budget ~limit)
       | exception Failure msg ->
           result "  step %d: stopped — %s@." i msg
     end
@@ -1239,7 +1242,7 @@ let relim_perf () =
       if i <= 2 then
         match Relim.Rounde.step ~pool:Parallel.Pool.sequential q with
         | d -> go (Relim.Simplify.normalize d.Relim.Rounde.problem) (i + 1)
-        | exception Failure _ -> ()
+        | exception (Relim.Budget.Budget_exceeded _ | Failure _) -> ()
     in
     go pi5_first 1
   in
@@ -1394,6 +1397,111 @@ let relim_perf () =
   result "@.wrote BENCH_relim.json@."
 
 (* ------------------------------------------------------------------ *)
+(* AP: autopilot — certified relaxation search                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The two reference runs of EXPERIMENTS.md's AUTOPILOT section: the
+   sinkless-orientation rediscovery (a certified relaxed fixed point)
+   and the Pi(5,4,2) budget-wall run (a certified 2-round upper bound
+   reached through a quotient cover where the plain speedup step trips
+   its budget).  The results are merged into BENCH_relim.json as an
+   "autopilot" object, preserving whatever `relim_perf` wrote there —
+   the two sections can run in either order. *)
+let autopilot_bench () =
+  section "AP" "Autopilot: certified relaxation search (quotient covers)";
+  let tight =
+    {
+      Autopilot.default_limits with
+      Autopilot.expand_limit = 50_000.;
+      rc_limit = 4_000;
+      beam = 12;
+      max_steps = 4;
+    }
+  in
+  let runs =
+    [
+      ( "SO(Delta=3)",
+        Lcl.Encodings.sinkless_orientation ~delta:3,
+        Autopilot.default_limits );
+      ("Pi(5,4,2)", Core.Family.pi { Core.Family.delta = 5; a = 4; x = 2 }, tight);
+    ]
+  in
+  let reports =
+    List.map
+      (fun (name, p, limits) ->
+        let r = Autopilot.search ~limits p in
+        result
+          "  %-12s %-24s %d step(s), %d candidate(s), %d budget-skipped, %d \
+           certified, %.2f s@."
+          name
+          (Autopilot.verdict_string r.Autopilot.verdict)
+          (List.length r.Autopilot.steps)
+          r.Autopilot.candidates_explored r.Autopilot.budget_skips
+          r.Autopilot.certified_steps r.Autopilot.wall_s;
+        (name, r))
+      runs
+  in
+  let open Store.Json in
+  let problem_objs =
+    List.map
+      (fun (name, r) ->
+        let extras =
+          match r.Autopilot.verdict with
+          | Autopilot.Fixed_point { period; _ } -> [ ("period", Int period) ]
+          | Autopilot.Upper_bound { steps } ->
+              [ ("upper_bound_rounds", Int steps) ]
+          | Autopilot.Exhausted _ -> []
+        in
+        Obj
+          ([
+             ("name", String name);
+             ("verdict", String (Autopilot.verdict_string r.Autopilot.verdict));
+             ("steps", Int (List.length r.Autopilot.steps));
+             ("candidates_explored", Int r.Autopilot.candidates_explored);
+             ("budget_skips", Int r.Autopilot.budget_skips);
+             ("certified_steps", Int r.Autopilot.certified_steps);
+             ("wall_s", Float r.Autopilot.wall_s);
+           ]
+          @ extras))
+      reports
+  in
+  let sum f = List.fold_left (fun acc (_, r) -> acc + f r) 0 reports in
+  let ap =
+    Obj
+      [
+        ("problems", List problem_objs);
+        ( "candidates_explored",
+          Int (sum (fun r -> r.Autopilot.candidates_explored)) );
+        ("budget_skips", Int (sum (fun r -> r.Autopilot.budget_skips)));
+        ("certified_steps", Int (sum (fun r -> r.Autopilot.certified_steps)));
+        ( "wall_s",
+          Float
+            (List.fold_left
+               (fun acc (_, r) -> acc +. r.Autopilot.wall_s)
+               0. reports) );
+      ]
+  in
+  let existing =
+    if Sys.file_exists "BENCH_relim.json" then begin
+      let ic = open_in_bin "BENCH_relim.json" in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match of_string s with
+      | Ok (Obj members) -> List.filter (fun (k, _) -> k <> "autopilot") members
+      | Ok _ | Error _ -> []
+    end
+    else []
+  in
+  let members =
+    if existing = [] then [ ("bench", String "relim") ] else existing
+  in
+  let oc = open_out "BENCH_relim.json" in
+  output_string oc (to_string (Obj (members @ [ ("autopilot", ap) ])));
+  output_char oc '\n';
+  close_out oc;
+  result "@.merged \"autopilot\" section into BENCH_relim.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -1420,6 +1528,7 @@ let all_sections =
     ("views", views);
     ("congest", congest);
     ("relim_perf", relim_perf);
+    ("autopilot", autopilot_bench);
     ("bechamel", bechamel_suite);
   ]
 

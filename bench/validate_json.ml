@@ -15,7 +15,12 @@
 
    With --require-daemon, each file must carry a "daemon" object — the
    roundelimd load-generator section — with the cold/warm throughput
-   members `make daemond-smoke` and EXPERIMENTS.md key on. *)
+   members `make daemond-smoke` and EXPERIMENTS.md key on.
+
+   With --require-autopilot, each file must carry an "autopilot"
+   object — the certified relaxation-search section `make
+   autopilot-smoke` keys on: per-problem verdicts plus the aggregate
+   candidates-explored / certified-steps / wall-time counters. *)
 
 exception Bad of int * string
 
@@ -35,6 +40,12 @@ let required_daemon_keys =
     "warm_speedup";
     "warm_byte_identical";
   ]
+
+(* Member names of the "autopilot" object every dump must carry under
+   --require-autopilot. *)
+let required_autopilot_keys =
+  [ "problems"; "candidates_explored"; "budget_skips"; "certified_steps";
+    "wall_s" ]
 
 (* Validates [s] and returns (top-level object keys, keys of the
    top-level "meta" object) — both empty when the value is not an
@@ -133,7 +144,7 @@ let validate (s : string) =
   (* [depth] is the object-nesting depth of this value; [in_section]
      names the top-level member ("meta", "daemon") whose own keys are
      collected for the --require-* checks. *)
-  let tracked_sections = [ "meta"; "daemon" ] in
+  let tracked_sections = [ "meta"; "daemon"; "autopilot" ] in
   let rec value ~depth ~in_section =
     skip_ws ();
     match peek () with
@@ -200,7 +211,7 @@ let validate (s : string) =
   let keys_of s =
     List.rev (Option.value ~default:[] (Hashtbl.find_opt section_keys s))
   in
-  (List.rev !root_keys, keys_of "meta", keys_of "daemon")
+  (List.rev !root_keys, keys_of "meta", keys_of "daemon", keys_of "autopilot")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -217,21 +228,25 @@ let () =
   in
   let require_meta = List.mem "--require-meta" args in
   let require_daemon = List.mem "--require-daemon" args in
+  let require_autopilot = List.mem "--require-autopilot" args in
   let files =
     List.filter
-      (fun a -> a <> "--require-meta" && a <> "--require-daemon")
+      (fun a ->
+        a <> "--require-meta" && a <> "--require-daemon"
+        && a <> "--require-autopilot")
       args
   in
   if files = [] then begin
     prerr_endline
-      "usage: validate_json [--require-meta] [--require-daemon] FILE.json ...";
+      "usage: validate_json [--require-meta] [--require-daemon] \
+       [--require-autopilot] FILE.json ...";
     exit 2
   end;
   let failed = ref false in
   List.iter
     (fun path ->
       match validate (read_file path) with
-      | root_keys, meta_keys, daemon_keys ->
+      | root_keys, meta_keys, daemon_keys, autopilot_keys ->
           (* One required-section check, shared by meta and daemon. *)
           let file_ok = ref true in
           let check_section name keys required =
@@ -252,11 +267,14 @@ let () =
           if require_meta then check_section "meta" meta_keys required_meta_keys;
           if require_daemon then
             check_section "daemon" daemon_keys required_daemon_keys;
+          if require_autopilot then
+            check_section "autopilot" autopilot_keys required_autopilot_keys;
           if not !file_ok then failed := true
           else
-            Printf.printf "%s: well-formed JSON%s%s\n" path
+            Printf.printf "%s: well-formed JSON%s%s%s\n" path
               (if require_meta then " with complete meta" else "")
               (if require_daemon then " and daemon section" else "")
+              (if require_autopilot then " and autopilot section" else "")
       | exception Bad (pos, msg) ->
           failed := true;
           Printf.eprintf "%s: invalid JSON at byte %d: %s\n" path pos msg

@@ -156,7 +156,10 @@ let step preset delta a x node edge steps domains certify trace tfmt =
             (Relim.Problem.label_count next)
             Relim.Problem.pp next
         done
-      with Failure msg -> Format.printf "@.stopped: %s@." msg)
+      with
+      | Relim.Budget.Budget_exceeded { budget; limit } ->
+          Format.printf "@.stopped: %s@." (Relim.Budget.message ~budget ~limit)
+      | Failure msg -> Format.printf "@.stopped: %s@." msg)
 
 let step_cmd =
   let steps_t =
@@ -373,6 +376,71 @@ let fixed_point_cmd =
       const fixed_point $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
       $ steps_t $ domains_t $ certify_t $ trace_t $ trace_format_t)
 
+(* ---- autopilot ---- *)
+
+let autopilot preset delta a x node edge max_steps beam domains certify trace
+    tfmt =
+  with_trace trace tfmt @@ fun () ->
+  let pool = pool_of_domains domains in
+  let p = preset_problem preset delta a x node edge in
+  with_certify certify @@ fun () ->
+  let limits =
+    { Autopilot.default_limits with Autopilot.max_steps; beam }
+  in
+  let report = Autopilot.search ~limits ?pool p in
+  List.iter
+    (fun s ->
+      Format.printf "step %d: %s -> %d labels@." s.Autopilot.step_index
+        (match s.Autopilot.cover with
+        | None -> "identity relaxation"
+        | Some n -> Printf.sprintf "quotient by a %d-set cover" n)
+        s.Autopilot.result_labels)
+    report.Autopilot.steps;
+  Format.printf
+    "verdict: %s  (%d candidates explored, %d budget-skipped, %d certified \
+     steps, %.2fs)@."
+    (Autopilot.verdict_string report.Autopilot.verdict)
+    report.Autopilot.candidates_explored report.Autopilot.budget_skips
+    report.Autopilot.certified_steps report.Autopilot.wall_s;
+  match report.Autopilot.verdict with
+  | Autopilot.Fixed_point { problem; period } ->
+      Format.printf
+        "certified relaxed cycle of period %d through a non-0-round-solvable \
+         state:@.%a@.=> Omega(log n) deterministic and Omega(log log n) \
+         randomized LOCAL lower bounds@."
+        period Relim.Problem.pp problem
+  | Autopilot.Upper_bound { steps } ->
+      Format.printf
+        "certified upper bound: solvable in %d round(s) in the PN model on \
+         high-girth Delta-regular instances@."
+        steps
+  | Autopilot.Exhausted { last } ->
+      Format.printf "search exhausted; last state (%d labels):@.%a@."
+        (Relim.Problem.label_count last)
+        Relim.Problem.pp last
+
+let autopilot_cmd =
+  let steps_t =
+    Arg.(
+      value
+      & opt int Autopilot.default_limits.Autopilot.max_steps
+      & info [ "max-steps" ] ~doc:"Accepted-step budget of the search.")
+  in
+  let beam_t =
+    Arg.(
+      value
+      & opt int Autopilot.default_limits.Autopilot.beam
+      & info [ "beam" ] ~doc:"Candidate covers evaluated per step.")
+  in
+  Cmd.v
+    (Cmd.info "autopilot"
+       ~doc:
+         "Search for a certified relaxed fixed point (or upper bound) by \
+          quotient-cover relaxation")
+    Term.(
+      const autopilot $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t
+      $ steps_t $ beam_t $ domains_t $ certify_t $ trace_t $ trace_format_t)
+
 (* ---- certify ---- *)
 
 let certify delta k n =
@@ -469,6 +537,7 @@ let main_cmd =
       lemmas_cmd;
       simulate_cmd;
       fixed_point_cmd;
+      autopilot_cmd;
       certify_cmd;
       simplify_cmd;
       save_cmd;

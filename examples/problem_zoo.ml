@@ -39,7 +39,7 @@ let classify name (p : Problem.t) =
       Format.printf
         "speedup: no fixed point within budget; label growth to %d — the blow-up regime@."
         (Problem.label_count last)
-  | exception Failure _ ->
+  | exception (Budget.Budget_exceeded _ | Failure _) ->
       Format.printf "speedup: label budget exhausted — the blow-up regime@.")
 
 let () =

@@ -1,0 +1,384 @@
+open Relim
+
+type limits = {
+  max_steps : int;
+  beam : int;
+  expand_limit : float;
+  rc_limit : int;
+  max_labels : int;
+}
+
+let default_limits =
+  {
+    max_steps = 6;
+    beam = 24;
+    expand_limit = 200_000.;
+    rc_limit = 20_000;
+    max_labels = 48;
+  }
+
+type verdict =
+  | Fixed_point of { problem : Problem.t; period : int }
+  | Upper_bound of { steps : int }
+  | Exhausted of { last : Problem.t }
+
+type accepted = {
+  step_index : int;
+  cover : int option;
+  result_labels : int;
+  certificate : Certify.Certificate.t;
+}
+
+type report = {
+  verdict : verdict;
+  steps : accepted list;
+  candidates_explored : int;
+  budget_skips : int;
+  certified_steps : int;
+  wall_s : float;
+}
+
+let verdict_string = function
+  | Fixed_point { period; _ } ->
+      Printf.sprintf "fixed-point (period %d)" period
+  | Upper_bound { steps } -> Printf.sprintf "upper-bound (%d steps)" steps
+  | Exhausted _ -> "exhausted"
+
+(* ------------------------------------------------------------------ *)
+(* Candidate relaxations                                               *)
+(* ------------------------------------------------------------------ *)
+
+type candidate = Identity | Cover of Labelset.t list
+
+(* [Alphabet.set_name] concatenates member names, which can collide
+   when the source alphabet holds both single-character names and their
+   concatenation (R outputs routinely do: "A", "B" and "AB" may all be
+   labels).  Fall back to positional names in that case — certificates
+   key denotations by name, so any distinct names work. *)
+let cover_names (rp : Problem.t) sets =
+  let names = Array.map (Alphabet.set_name rp.Problem.alpha) sets in
+  let tbl = Hashtbl.create 16 in
+  let distinct =
+    Array.for_all
+      (fun n ->
+        if Hashtbl.mem tbl n then false
+        else begin
+          Hashtbl.add tbl n ();
+          true
+        end)
+      names
+  in
+  if distinct then names else Array.mapi (fun i _ -> Printf.sprintf "q%d" i) sets
+
+(* Quotient of [rp] by a cover 𝒮 of its labels: one new label per
+   cover set, every occurrence of [y] replaced by the disjunction of
+   the sets containing it.  The denotations are the cover sets
+   themselves — exactly the shape [Certify.Check.check_relaxation]
+   validates. *)
+let quotient (rp : Problem.t) (cover : Labelset.t list) : Rounde.denoted =
+  let sets = Array.of_list cover in
+  let phi = Array.make (Alphabet.size rp.Problem.alpha) Labelset.empty in
+  Array.iteri
+    (fun i s -> Labelset.iter (fun y -> phi.(y) <- Labelset.add i phi.(y)) s)
+    sets;
+  let map_group g =
+    Labelset.fold (fun y acc -> Labelset.union phi.(y) acc) g Labelset.empty
+  in
+  let alpha = Alphabet.create (Array.to_list (cover_names rp sets)) in
+  let problem =
+    Problem.make
+      ~name:(rp.Problem.name ^ "/q")
+      ~alpha
+      ~node:(Constr.map_lines (Line.map_syms map_group) rp.Problem.node)
+      ~edge:(Constr.map_lines (Line.map_syms map_group) rp.Problem.edge)
+  in
+  { Rounde.problem; denotations = sets }
+
+let identity_relaxed (rp : Problem.t) : Rounde.denoted =
+  {
+    Rounde.problem = rp;
+    denotations = Array.init (Alphabet.size rp.Problem.alpha) Labelset.singleton;
+  }
+
+let popcount bits =
+  let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+  go bits 0
+
+let drop k xs = List.filteri (fun i _ -> i >= k) xs
+
+let dedup_covers covers =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun cover ->
+      let key = List.map Labelset.to_bits cover in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    covers
+
+(* Candidate covers over the labels of [rp], finest first: every cover
+   is a set of principal filters of the node diagram (a label plus
+   everything strictly stronger) with the universe always included —
+   each filter is right-closed, so the quotient keeps the strength
+   structure the next R step feeds on.  Few distinct filters: all
+   subsets.  Many: the drop-k-strongest ladder (remove the filters of
+   the k strongest labels), which is where the interesting collapses
+   live — strong labels are the ones the plain step multiplies. *)
+let covers_of ~limits (rp : Problem.t) =
+  match Diagram.node_diagram ~expand_limit:limits.expand_limit rp with
+  | exception Budget.Budget_exceeded _ -> []
+  | d ->
+      let universe = Alphabet.universe rp.Problem.alpha in
+      let filter y = Labelset.add y (Diagram.above d y) in
+      let filters =
+        List.sort_uniq Labelset.compare
+          (List.map filter (Alphabet.labels rp.Problem.alpha))
+      in
+      let arr = Array.of_list filters in
+      let n = Array.length arr in
+      let mk subset = List.sort_uniq Labelset.compare (universe :: subset) in
+      let covers =
+        if n <= 12 then
+          List.init (1 lsl n) (fun bits ->
+              let rec collect i acc =
+                if i = n then acc
+                else
+                  collect (i + 1)
+                    (if bits land (1 lsl i) <> 0 then arr.(i) :: acc else acc)
+              in
+              (popcount bits, mk (collect 0 [])))
+          |> List.sort (fun (a, _) (b, _) -> compare b a)
+          |> List.map snd
+        else begin
+          let by_size =
+            List.sort
+              (fun a b -> compare (Labelset.cardinal a) (Labelset.cardinal b))
+              filters
+          in
+          List.init n (fun k -> mk (drop k by_size))
+        end
+      in
+      dedup_covers covers
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type viable = {
+  cand : candidate;
+  relaxed : Rounde.denoted;
+  rbd : Rounde.denoted;
+  norm : Problem.t;
+  labels : int;
+  solvable : bool;
+}
+
+let search ?(limits = default_limits) ?pool (p0 : Problem.t) =
+  let t0 = Unix.gettimeofday () in
+  let explored = ref 0 and skips = ref 0 and certified = ref 0 in
+  let accepted = ref [] in
+  Trace.with_span "autopilot.search"
+    ~attrs:
+      [
+        ("problem", p0.Problem.name);
+        ("max_steps", string_of_int limits.max_steps);
+      ]
+  @@ fun () ->
+  let finish verdict =
+    Trace.counters
+      [
+        ("autopilot.candidates", !explored);
+        ("autopilot.budget_skips", !skips);
+        ("autopilot.certified", !certified);
+      ];
+    {
+      verdict;
+      steps = List.rev !accepted;
+      candidates_explored = !explored;
+      budget_skips = !skips;
+      certified_steps = !certified;
+      wall_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  let solvable p =
+    match Zeroround.solvable_arbitrary_ports ?pool p with
+    | Some _ -> true
+    | None -> false
+    | exception Budget.Budget_exceeded _ -> false
+  in
+  let s0 = Simplify.normalize p0 in
+  (* Normalized states on the path, newest first; cycle detection walks
+     this with a hash prefilter before the exact isomorphism check. *)
+  let states = ref [ s0 ] in
+  let cycle_of norm =
+    let h = Iso.invariant_hash norm in
+    let rec scan k = function
+      | [] -> None
+      | st :: rest ->
+          if Iso.invariant_hash st = h && Iso.equal_up_to_renaming norm st then
+            Some k
+          else scan (k + 1) rest
+    in
+    scan 1 !states
+  in
+  let rec go s i =
+    if solvable s then finish (Upper_bound { steps = i - 1 })
+    else if i > limits.max_steps then finish (Exhausted { last = s })
+    else
+      Trace.with_span "autopilot.step"
+        ~attrs:
+          [
+            ("index", string_of_int i);
+            ("labels", string_of_int (Problem.label_count s));
+          ]
+      @@ fun () ->
+      match Rounde.r s with
+      | exception Budget.Budget_exceeded _ -> finish (Exhausted { last = s })
+      | rd -> (
+          let rp = rd.Rounde.problem in
+          let try_cand cand =
+            incr explored;
+            let relaxed =
+              match cand with
+              | Identity -> identity_relaxed rp
+              | Cover c -> quotient rp c
+            in
+            let q = relaxed.Rounde.problem in
+            let lc = Problem.label_count q in
+            if lc < 2 || lc > limits.max_labels then None
+            else
+              match
+                Rounde.rbar ~expand_limit:limits.expand_limit
+                  ~rc_limit:limits.rc_limit ?pool q
+              with
+              | exception Budget.Budget_exceeded _ ->
+                  incr skips;
+                  None
+              | rbd ->
+                  let norm = Simplify.normalize rbd.Rounde.problem in
+                  Some
+                    {
+                      cand;
+                      relaxed;
+                      rbd;
+                      norm;
+                      labels = Problem.label_count norm;
+                      solvable = solvable norm;
+                    }
+          in
+          let accept v =
+            let cert =
+              Certify.Certificate.of_relaxed_step_parts ~source:s ~r:rd
+                ~relaxed:v.relaxed ~result:v.rbd
+            in
+            match Certify.Certificate.validate cert with
+            | Error msg ->
+                Trace.instant "autopilot.certificate_rejected"
+                  ~attrs:[ ("error", msg) ];
+                None
+            | Ok () ->
+                incr certified;
+                let cover =
+                  match v.cand with
+                  | Identity -> None
+                  | Cover c -> Some (List.length c)
+                in
+                accepted :=
+                  {
+                    step_index = i;
+                    cover;
+                    result_labels = v.labels;
+                    certificate = cert;
+                  }
+                  :: !accepted;
+                Trace.instant "autopilot.accepted"
+                  ~attrs:
+                    [
+                      ("index", string_of_int i);
+                      ( "cover",
+                        match cover with
+                        | None -> "identity"
+                        | Some n -> string_of_int n );
+                      ("labels", string_of_int v.labels);
+                    ];
+                Some v
+          in
+          (* The identity relaxation is the lossless exact step; when it
+             fits the budgets there is nothing to search.  Covers are
+             walked only when it trips. *)
+          let viables =
+            match try_cand Identity with
+            | Some v -> [ v ]
+            | None ->
+                let covers = covers_of ~limits rp in
+                let rec walk acc tried = function
+                  | [] -> List.rev acc
+                  | _ when tried >= limits.beam || List.length acc >= 4 ->
+                      List.rev acc
+                  | c :: rest -> (
+                      match try_cand (Cover c) with
+                      | Some v -> walk (v :: acc) (tried + 1) rest
+                      | None -> walk acc (tried + 1) rest)
+                in
+                walk [] 0 covers
+          in
+          match viables with
+          | [] -> finish (Exhausted { last = s })
+          | _ -> (
+              (* Priority: close a cycle (shortest period); else a hard
+                 state a cheap fixed-point probe endorses; else hard
+                 with fewest labels; else terminal (0-round solvable —
+                 the next iteration turns it into an upper bound). *)
+              let with_cycles =
+                List.filter_map
+                  (fun v ->
+                    match cycle_of v.norm with
+                    | Some k -> Some (k, v)
+                    | None -> None)
+                  viables
+              in
+              let by_labels =
+                List.sort (fun a b -> compare a.labels b.labels)
+              in
+              let pick =
+                match
+                  List.sort (fun (a, _) (b, _) -> compare a b) with_cycles
+                with
+                | (period, v) :: _ -> `Cycle (period, v)
+                | [] -> (
+                    match by_labels (List.filter (fun v -> not v.solvable) viables) with
+                    | [] -> `Plain (List.hd (by_labels viables))
+                    | hs -> (
+                        let promising v =
+                          match
+                            Fixedpoint.detect ~max_steps:2
+                              ~expand_limit:limits.expand_limit ?pool v.norm
+                          with
+                          | Fixedpoint.Fixed_point _ -> true
+                          | Fixedpoint.Reaches_fixed_point _
+                          | Fixedpoint.No_fixed_point_found _ ->
+                              false
+                          | exception Budget.Budget_exceeded _ -> false
+                        in
+                        match
+                          List.find_opt promising
+                            (List.filteri (fun k _ -> k < 2) hs)
+                        with
+                        | Some v -> `Plain v
+                        | None -> `Plain (List.hd hs)))
+              in
+              match pick with
+              | `Cycle (period, v) -> (
+                  match accept v with
+                  | Some _ -> finish (Fixed_point { problem = v.norm; period })
+                  | None -> finish (Exhausted { last = s }))
+              | `Plain v -> (
+                  match accept v with
+                  | Some v ->
+                      states := v.norm :: !states;
+                      go v.norm (i + 1)
+                  | None -> finish (Exhausted { last = s }))))
+  in
+  go s0 1

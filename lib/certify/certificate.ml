@@ -8,7 +8,20 @@ type step = {
   result_denotations : (string * string list) list;
 }
 
-type t = Step of step | Fixed_point of { problem : string }
+type relaxed_step = {
+  rs_source : string;
+  rs_r : string;
+  rs_r_denotations : (string * string list) list;
+  rs_relaxed : string;
+  rs_relaxed_denotations : (string * string list) list;
+  rs_result : string;
+  rs_result_denotations : (string * string list) list;
+}
+
+type t =
+  | Step of step
+  | Relaxed_step of relaxed_step
+  | Fixed_point of { problem : string }
 
 (* ------------------------------------------------------------------ *)
 (* Construction from engine outputs                                    *)
@@ -41,11 +54,28 @@ let of_step_parts ~(source : Problem.t) ~(r : Rounde.denoted)
         named_denotations ~source_alpha:r.Rounde.problem.Problem.alpha result;
     }
 
+let of_relaxed_step_parts ~(source : Problem.t) ~(r : Rounde.denoted)
+    ~(relaxed : Rounde.denoted) ~(result : Rounde.denoted) =
+  Relaxed_step
+    {
+      rs_source = Serialize.to_string source;
+      rs_r = Serialize.to_string r.Rounde.problem;
+      rs_r_denotations = named_denotations ~source_alpha:source.Problem.alpha r;
+      rs_relaxed = Serialize.to_string relaxed.Rounde.problem;
+      rs_relaxed_denotations =
+        named_denotations ~source_alpha:r.Rounde.problem.Problem.alpha relaxed;
+      rs_result = Serialize.to_string result.Rounde.problem;
+      rs_result_denotations =
+        named_denotations ~source_alpha:relaxed.Rounde.problem.Problem.alpha
+          result;
+    }
+
 let of_fixed_point (p : Problem.t) =
   Fixed_point { problem = Serialize.to_string p }
 
 let result_text = function
   | Step s -> s.result
+  | Relaxed_step rs -> rs.rs_result
   | Fixed_point { problem } -> problem
 
 (* ------------------------------------------------------------------ *)
@@ -74,6 +104,18 @@ let to_text = function
       add_denots buf "r-denotations" s.r_denotations;
       add_block buf "result" s.result;
       add_denots buf "result-denotations" s.result_denotations;
+      Buffer.add_string buf "end\n";
+      Buffer.contents buf
+  | Relaxed_step rs ->
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf "certificate v1 relaxed-step\n";
+      add_block buf "source" rs.rs_source;
+      add_block buf "r" rs.rs_r;
+      add_denots buf "r-denotations" rs.rs_r_denotations;
+      add_block buf "relaxed" rs.rs_relaxed;
+      add_denots buf "relaxed-denotations" rs.rs_relaxed_denotations;
+      add_block buf "result" rs.rs_result;
+      add_denots buf "result-denotations" rs.rs_result_denotations;
       Buffer.add_string buf "end\n";
       Buffer.contents buf
   | Fixed_point { problem } ->
@@ -139,6 +181,25 @@ let of_text text =
         let result_denotations = read_denots "result-denotations" in
         if read_line () <> "end" then fail "missing end marker";
         Step { source; r; r_denotations; result; result_denotations }
+    | "certificate v1 relaxed-step" ->
+        let rs_source = read_block "source" in
+        let rs_r = read_block "r" in
+        let rs_r_denotations = read_denots "r-denotations" in
+        let rs_relaxed = read_block "relaxed" in
+        let rs_relaxed_denotations = read_denots "relaxed-denotations" in
+        let rs_result = read_block "result" in
+        let rs_result_denotations = read_denots "result-denotations" in
+        if read_line () <> "end" then fail "missing end marker";
+        Relaxed_step
+          {
+            rs_source;
+            rs_r;
+            rs_r_denotations;
+            rs_relaxed;
+            rs_relaxed_denotations;
+            rs_result;
+            rs_result_denotations;
+          }
     | "certificate v1 fixed-point" ->
         let problem = read_block "problem" in
         if read_line () <> "end" then fail "missing end marker";
@@ -213,10 +274,32 @@ let validate ?work_budget cert =
         in
         Check.check_r ?work_budget ~source r_denoted;
         Check.check_rbar ?work_budget ~source:r result_denoted
+    | Relaxed_step rs ->
+        let source = parse_problem ~what:"relaxed-step source" rs.rs_source in
+        let r = parse_problem ~what:"relaxed-step r" rs.rs_r in
+        let relaxed = parse_problem ~what:"relaxed-step relaxed" rs.rs_relaxed in
+        let result = parse_problem ~what:"relaxed-step result" rs.rs_result in
+        let r_denoted =
+          rebuild_denoted ~what:"r denotations" ~source ~problem:r
+            rs.rs_r_denotations
+        in
+        let relaxed_denoted =
+          rebuild_denoted ~what:"relaxed denotations" ~source:r ~problem:relaxed
+            rs.rs_relaxed_denotations
+        in
+        let result_denoted =
+          rebuild_denoted ~what:"result denotations" ~source:relaxed
+            ~problem:result rs.rs_result_denotations
+        in
+        Check.check_r ?work_budget ~source r_denoted;
+        Check.check_relaxation ?work_budget ~source:r relaxed_denoted;
+        Check.check_rbar ?work_budget ~source:relaxed result_denoted
     | Fixed_point { problem } ->
         Check.check_fixed_point (parse_problem ~what:"fixed point" problem)
   with
   | () -> Ok ()
   | exception Malformed msg -> Error msg
   | exception Check.Violation msg -> Error msg
+  | exception Budget.Budget_exceeded { budget; limit } ->
+      Error (Budget.message ~budget ~limit)
   | exception Failure msg -> Error msg

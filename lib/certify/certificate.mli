@@ -26,8 +26,29 @@ type step = {
           denotes. *)
 }
 
+type relaxed_step = {
+  rs_source : string;  (** [Serialize] text of the input problem Π. *)
+  rs_r : string;  (** Text of R(Π). *)
+  rs_r_denotations : (string * string list) list;
+      (** For each label name of R(Π), the source label names it
+          denotes. *)
+  rs_relaxed : string;  (** Text of the relaxation Q of R(Π). *)
+  rs_relaxed_denotations : (string * string list) list;
+      (** For each label name of Q, the R(Π) label names it stands
+          for — validated by {!Check.check_relaxation}. *)
+  rs_result : string;  (** Text of R̄(Q): the relaxed-step result. *)
+  rs_result_denotations : (string * string list) list;
+      (** For each label name of the result, the Q label names it
+          denotes. *)
+}
+
 type t =
   | Step of step
+  | Relaxed_step of relaxed_step
+      (** A speedup step with a 0-round relaxation interleaved between
+          R and R̄ (the paper's Lemma 8/9 shape): the result is
+          [R̄(Q)] where [Q] relaxes [R(Π)], so
+          [T(result) = max (T(Π) - 1) 0] still holds. *)
   | Fixed_point of { problem : string }
       (** Text of a problem Π claimed to satisfy
           [step Π ≅ Π] after normalization. *)
@@ -38,6 +59,17 @@ type t =
 val of_step_parts :
   source:Relim.Problem.t ->
   r:Relim.Rounde.denoted ->
+  result:Relim.Rounde.denoted ->
+  t
+
+(** Build a relaxed-step certificate: [r] is the [Rounde.r] result for
+    [source], [relaxed] a relaxation of [r]'s problem (denotations into
+    [r]'s alphabet), [result] the [Rounde.rbar] result for [relaxed]'s
+    problem. *)
+val of_relaxed_step_parts :
+  source:Relim.Problem.t ->
+  r:Relim.Rounde.denoted ->
+  relaxed:Relim.Rounde.denoted ->
   result:Relim.Rounde.denoted ->
   t
 
@@ -55,7 +87,9 @@ val of_text : string -> (t, string) result
 
 (** Re-validate from the texts alone: parse every problem, rebuild the
     denotation arrays by name, and run {!Check.check_r} /
-    {!Check.check_rbar} (for {!Step}) or {!Check.check_fixed_point}
+    {!Check.check_rbar} (for {!Step}), additionally
+    {!Check.check_relaxation} on the interleaved relaxation (for
+    {!Relaxed_step}), or {!Check.check_fixed_point}
     (for {!Fixed_point}).  [Error] carries the checker's violation
     message.  Budget-guarded sub-checks of {!Check} may be skipped on
     very large instances (counted in [Check.stats.skipped_subchecks]) —

@@ -7,6 +7,7 @@ type stats = {
   mutable rbar_certified : int;
   mutable zero_certified : int;
   mutable fixed_points_certified : int;
+  mutable relaxations_certified : int;
   mutable skipped_subchecks : int;
   mutable time_s : float;
 }
@@ -17,6 +18,7 @@ let stats =
     rbar_certified = 0;
     zero_certified = 0;
     fixed_points_certified = 0;
+    relaxations_certified = 0;
     skipped_subchecks = 0;
     time_s = 0.;
   }
@@ -26,6 +28,7 @@ let reset_stats () =
   stats.rbar_certified <- 0;
   stats.zero_certified <- 0;
   stats.fixed_points_certified <- 0;
+  stats.relaxations_certified <- 0;
   stats.skipped_subchecks <- 0;
   stats.time_s <- 0.
 
@@ -450,6 +453,124 @@ let check_zero_round ?(expand_limit = 2e6) ~mode (p : Problem.t)
                   (Multiset.to_string p.Problem.alpha m))
             (Constr.expand ~limit:expand_limit p.Problem.node)));
   stats.zero_certified <- stats.zero_certified + 1
+
+(* ------------------------------------------------------------------ *)
+(* Relaxations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the concrete source configuration [m] fit into [line] of the
+   relaxed problem?  A slot holding source label [y] may be rewritten
+   to any relaxed label [s] with [y ∈ denots.(s)]; a line group [G]
+   accepts [y] iff some member of [G] denotes it.  Plain backtracking
+   over the label classes of [m] (fresh code — the engine's
+   transportation solver is never consulted). *)
+let config_fits_line ~denots m line =
+  let classes = Array.of_list (Multiset.counts m) in
+  let groups = Array.of_list (Line.groups line) in
+  let caps = Array.map snd groups in
+  let fits y g =
+    Labelset.exists (fun s -> Labelset.mem y denots.(s)) g
+  in
+  let rec place i remaining =
+    if i = Array.length classes then true
+    else if remaining = 0 then place (i + 1) (-1)
+    else begin
+      let remaining =
+        if remaining < 0 then snd classes.(i) else remaining
+      in
+      let y = fst classes.(i) in
+      let rec try_group j =
+        if j >= Array.length groups then false
+        else if caps.(j) > 0 && fits y (fst groups.(j)) then begin
+          caps.(j) <- caps.(j) - 1;
+          if place i (remaining - 1) then true
+          else begin
+            caps.(j) <- caps.(j) + 1;
+            try_group (j + 1)
+          end
+        end
+        else try_group (j + 1)
+      in
+      try_group 0
+    end
+  in
+  place 0 (-1)
+
+let check_relaxation ?(work_budget = 2_000_000) ~source:(p : Problem.t)
+    (d : Rounde.denoted) =
+  timed @@ fun () ->
+  let q = d.Rounde.problem in
+  let what = Printf.sprintf "relaxation certificate (%s)" p.Problem.name in
+  check_denotations ~what ~source:p d;
+  let denots = d.Rounde.denotations in
+  if Problem.delta q <> Problem.delta p then
+    fail "%s: node arity changed from %d to %d" what (Problem.delta p)
+      (Problem.delta q);
+  (* Cover: every source label occurring in a constraint must be
+     denoted by some relaxed label, or no half-edge carrying it could
+     be rewritten. *)
+  let used =
+    Labelset.union (Constr.support p.Problem.node) (Constr.support p.Problem.edge)
+  in
+  let containers y =
+    let acc = ref Labelset.empty in
+    Array.iteri
+      (fun s ds -> if Labelset.mem y ds then acc := Labelset.add s !acc)
+      denots;
+    !acc
+  in
+  Labelset.iter
+    (fun y ->
+      if Labelset.is_empty (containers y) then
+        fail "%s: source label %s is denoted by no relaxed label" what
+          (Alphabet.name p.Problem.alpha y))
+    used;
+  (* Edge condition: the rewrite of a half-edge label must be free.
+     For every concrete source edge pair (y1, y2), EVERY pair of
+     containers (S1 ∋ y1, S2 ∋ y2) must be allowed by the relaxed edge
+     constraint — the node-side witness then never conflicts with the
+     edge constraint. *)
+  let q_pairs =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun ij -> Hashtbl.replace tbl ij ())
+      (edge_pairs ~what q.Problem.edge);
+    fun i j -> Hashtbl.mem tbl (min i j, max i j)
+  in
+  List.iter
+    (fun (y1, y2) ->
+      Labelset.iter
+        (fun s1 ->
+          Labelset.iter
+            (fun s2 ->
+              if not (q_pairs s1 s2) then
+                fail
+                  "%s: source edge pair (%s, %s) rewrites to (%s, %s), which \
+                   the relaxed edge constraint forbids"
+                  what
+                  (Alphabet.name p.Problem.alpha y1)
+                  (Alphabet.name p.Problem.alpha y2)
+                  (Alphabet.name q.Problem.alpha s1)
+                  (Alphabet.name q.Problem.alpha s2))
+            (containers y2))
+        (containers y1))
+    (edge_pairs ~what p.Problem.edge);
+  (* Node condition: every allowed source configuration must fit into
+     some relaxed node line (budget-guarded expansion: a skip leaves
+     the certificate partial, never wrong). *)
+  guarded work_budget (fun charge ->
+      if Constr.expansion_estimate p.Problem.node > float_of_int work_budget
+      then raise Skipped;
+      let lines = Constr.lines q.Problem.node in
+      List.iter
+        (fun m ->
+          charge (List.length lines);
+          if not (List.exists (config_fits_line ~denots m) lines) then
+            fail "%s: allowed source configuration %s fits no relaxed node line"
+              what
+              (Multiset.to_string p.Problem.alpha m))
+        (Constr.expand ~limit:(float_of_int work_budget) p.Problem.node));
+  stats.relaxations_certified <- stats.relaxations_certified + 1
 
 (* ------------------------------------------------------------------ *)
 (* Fixed points                                                        *)

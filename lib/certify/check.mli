@@ -28,6 +28,8 @@ type stats = {
   mutable zero_certified : int;  (** Successful {!check_zero_round} runs. *)
   mutable fixed_points_certified : int;
       (** Successful {!check_fixed_point} replays. *)
+  mutable relaxations_certified : int;
+      (** Successful {!check_relaxation} runs. *)
   mutable skipped_subchecks : int;
       (** Exhaustive sub-checks skipped because their work budget
           would have been exceeded (the certificate is partial). *)
@@ -79,6 +81,24 @@ val check_zero_round :
   Relim.Problem.t ->
   Relim.Multiset.t option ->
   unit
+
+(** [check_relaxation ~source d] certifies that [d.problem] is a sound
+    0-round relaxation of [source]: [d.denotations.(s)] lists the
+    source labels the relaxed label [s] stands for.  Checked directly
+    from the definitions: denotations are distinct non-empty subsets;
+    every source label used in a constraint has at least one container;
+    for every concrete source edge pair, {e every} pair of containers
+    is allowed by the relaxed edge constraint (so the per-half-edge
+    rewrite is unconstrained by the edge side); and every allowed
+    source node configuration fits into some relaxed node line with a
+    fresh backtracking matcher (budget-guarded expansion — a skip
+    leaves the certificate partial, never wrong).  Together these
+    conditions give a 0-round reduction from [source] to [d.problem]:
+    each node rewrites its own half-edge labels using its node-line
+    witness, and the edge constraint cannot object.
+    @raise Violation on any mismatch. *)
+val check_relaxation :
+  ?work_budget:int -> source:Relim.Problem.t -> Relim.Rounde.denoted -> unit
 
 (** [check_fixed_point p] replays one speedup step from scratch —
     sequentially, bypassing the [Fixedpoint] memo cache — and confirms

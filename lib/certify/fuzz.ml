@@ -79,6 +79,8 @@ let run_one ?mutate_r ?pool ?(sim_seed = 0) (p : Problem.t) =
   with
   | () -> Passed
   | exception Check.Violation m -> Failed m
+  | exception Relim.Budget.Budget_exceeded { budget; limit } ->
+      Skipped (Relim.Budget.message ~budget ~limit)
   | exception Failure m -> Skipped m
 
 (* ------------------------------------------------------------------ *)

@@ -27,7 +27,8 @@ let naive_iteration ?(steps = 4) ?(max_labels = 40) ?(expand_limit = 2e6) p =
           go next (i + 1)
             (Relim.Problem.label_count next :: acc)
             (size_of next :: sizes)
-      | exception Failure _ -> finish acc sizes `Exhausted_budget
+      | exception (Relim.Budget.Budget_exceeded _ | Failure _) ->
+          finish acc sizes `Exhausted_budget
   in
   go p 0 [ Relim.Problem.label_count p ] [ size_of p ]
 
@@ -39,6 +40,6 @@ let r_label_counts ?(steps = 4) ?(max_labels = 40) p =
       let acc = Relim.Problem.label_count rp :: acc in
       match Relim.Rounde.rbar rp with
       | { Relim.Rounde.problem = next; _ } -> go next (i + 1) acc
-      | exception Failure _ -> List.rev acc
+      | exception (Relim.Budget.Budget_exceeded _ | Failure _) -> List.rev acc
   in
   go p 0 []

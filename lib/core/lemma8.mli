@@ -64,7 +64,8 @@ type concrete_report = {
 }
 
 (** Full engine computation; feasible roughly for Δ ≤ 7.
-    @raise Failure if the expansion exceeds [expand_limit]. *)
+    @raise Relim.Budget.Budget_exceeded if the expansion exceeds
+    [expand_limit]. *)
 val verify_concrete : ?expand_limit:float -> Family.params -> concrete_report
 
 (** Π_rel as an actual 6-label problem (node lines from

@@ -1,0 +1,14 @@
+exception Budget_exceeded of { budget : string; limit : float }
+
+let message ~budget ~limit =
+  (* Integral limits print as integers: "limit 5000000", not "5e+06". *)
+  if Float.is_integer limit && Float.abs limit < 1e15 then
+    Printf.sprintf "budget exceeded: %s (limit %.0f)" budget limit
+  else Printf.sprintf "budget exceeded: %s (limit %g)" budget limit
+
+let exceeded ~budget ~limit = raise (Budget_exceeded { budget; limit })
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exceeded { budget; limit } -> Some (message ~budget ~limit)
+    | _ -> None)

@@ -36,7 +36,7 @@ let expansion_estimate c =
 
 let expand ?(limit = 5e6) c =
   if expansion_estimate c > limit then
-    failwith "Constr.expand: expansion too large";
+    Budget.exceeded ~budget:"Constr.expand: constraint expansion" ~limit;
   let tbl = Hashtbl.create 1024 in
   List.iter
     (fun line ->

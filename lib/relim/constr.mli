@@ -34,7 +34,8 @@ val covers_line : t -> Line.t -> bool
 val expansion_estimate : t -> float
 
 (** All distinct concrete configurations, deduplicated.
-    @raise Failure if the estimate exceeds [limit] (default 5e6). *)
+    @raise Budget.Budget_exceeded if the estimate exceeds [limit]
+    (default 5e6). *)
 val expand : ?limit:float -> t -> Multiset.t list
 
 val map_lines : (Line.t -> Line.t) -> t -> t

@@ -205,9 +205,8 @@ let iter_right_closed ?(limit = 5_000_000) d f =
       if not (Labelset.is_empty union) then begin
         incr count;
         if !count > limit then
-          failwith
-            (Printf.sprintf
-               "Diagram.right_closed_sets: more than %d right-closed sets" limit);
+          Budget.exceeded ~budget:"Diagram.right_closed_sets: right-closed sets"
+            ~limit:(float_of_int limit);
         f union
       end
     end

@@ -45,7 +45,7 @@ val is_right_closed : t -> Labelset.t -> bool
     ever constructed, so the cost is proportional to the output, never
     to 2^n, and there is no label cap.
     @param limit hard budget on the number of sets (default 5·10⁶).
-    @raise Failure when the budget is exceeded. *)
+    @raise Budget.Budget_exceeded when the budget is exceeded. *)
 val right_closed_sets : ?limit:int -> t -> Labelset.t list
 
 (** Iterator form of {!right_closed_sets}: calls [f] on every non-empty

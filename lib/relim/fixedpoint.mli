@@ -37,7 +37,8 @@ type verdict =
     results of successful steps) and [pool] (results are identical for
     every domain count, so the pool is purely a performance knob; it is
     passed through to {!Rounde.step}, defaulting to {!Parctl.default}).
-    @raise Failure if a step exceeds the engine's budgets. *)
+    @raise Budget.Budget_exceeded if a step exceeds the engine's
+    budgets. *)
 val detect :
   ?max_steps:int -> ?expand_limit:float -> ?pool:Parallel.Pool.t ->
   Problem.t -> verdict

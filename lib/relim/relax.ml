@@ -8,10 +8,16 @@ let multiset_relaxes ~leq y z =
     ~demand:(Array.map snd zs)
     ~allowed:(fun i j -> leq (fst ys.(i)) (fst zs.(j)))
 
-(* Exact even for disjunction groups: every slot of a group picks its
-   own witness label independently, so per-slot existential matching is
-   precisely the relaxation condition. *)
-let multiset_relaxes_into_line ~leq y line =
+(* Group-level transport against a (possibly disjunctive) line.  This is
+   exact: a transport assignment sends each [y] slot to a group slot
+   whose set contains some [z ≥ y], and every slot of a group picks its
+   own witness label independently, so the witnesses assemble into a
+   concrete configuration of the line — and conversely any concrete
+   witness configuration induces a feasible transport.  Kept internal:
+   the exported entry points commit to concrete lines (see the mli), and
+   [constr_relaxes] goes through here so that right-closed relaxation
+   targets never have to be expanded. *)
+let relaxes_into_groups ~leq y line =
   let ys = Array.of_list (Multiset.counts y) in
   let groups = Array.of_list (Line.groups line) in
   Util.transport_feasible
@@ -20,11 +26,25 @@ let multiset_relaxes_into_line ~leq y line =
     ~allowed:(fun i j ->
       Labelset.exists (fun z -> leq (fst ys.(i)) z) (fst groups.(j)))
 
+let line_is_concrete line =
+  List.for_all (fun (s, _) -> Labelset.cardinal s = 1) (Line.groups line)
+
+let require_concrete ~what c =
+  if not (List.for_all line_is_concrete (Constr.lines c)) then
+    invalid_arg
+      (what
+     ^ ": constraint has a non-concrete line (disjunction group); expand it \
+        first or use constr_relaxes")
+
 let multiset_relaxes_into_constr ~leq y c =
-  List.exists (multiset_relaxes_into_line ~leq y) (Constr.lines c)
+  require_concrete ~what:"Relax.multiset_relaxes_into_constr" c;
+  List.exists (relaxes_into_groups ~leq y) (Constr.lines c)
 
 let constr_relaxes ?(limit = 2e6) ~leq a b =
   let configs = Constr.expand ~limit a in
-  List.for_all (fun y -> multiset_relaxes_into_constr ~leq y b) configs
+  let lines = Constr.lines b in
+  List.for_all
+    (fun y -> List.exists (relaxes_into_groups ~leq y) lines)
+    configs
 
 let label_equal (a : label) (b : label) = a = b

@@ -19,15 +19,19 @@ val multiset_relaxes :
 
 (** [multiset_relaxes_into_constr ~leq y c] — does [y] relax to some
     concrete configuration of [c]?  [c]'s lines must be concrete
-    (singleton groups); for such lines the group-level transport with
-    [leq]-compatibility is exact. *)
+    (singleton groups) — the precondition is enforced, not assumed.
+    @raise Invalid_argument if any line of [c] contains a disjunction
+    group; use {!constr_relaxes} (which handles disjunctive targets
+    without expanding them) or expand [c] first. *)
 val multiset_relaxes_into_constr :
   leq:(label -> label -> bool) -> Multiset.t -> Constr.t -> bool
 
 (** [constr_relaxes ~leq a b] — does every concrete configuration of
     [a] relax into some configuration of [b]?  Expands [a] (guarded by
-    [limit], default 2e6).
-    @raise Failure if the expansion is too large. *)
+    [limit], default 2e6); [b] may contain disjunction groups and is
+    never expanded (each group slot picks its witness label
+    independently, so group-level transport is exact).
+    @raise Budget.Budget_exceeded if the expansion is too large. *)
 val constr_relaxes :
   ?limit:float -> leq:(label -> label -> bool) -> Constr.t -> Constr.t -> bool
 

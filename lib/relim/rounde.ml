@@ -208,7 +208,8 @@ let r_impl (p : Problem.t) =
   in
   let denots = Array.of_list (SS.elements sets) in
   if Array.length denots > Labelset.max_label then
-    failwith "Rounde.r: output alphabet exceeds the label budget";
+    Budget.exceeded ~budget:"Rounde.r: output alphabet width"
+      ~limit:(float_of_int Labelset.max_label);
   let alpha' = intern_sets p.alpha denots in
   let index_of =
     let tbl = Hashtbl.create 16 in
@@ -304,7 +305,8 @@ let valid_boxes_impl ?pool (p : Problem.t) ~expand_limit ~rc_limit =
   let pool = Parctl.resolve pool in
   let delta = Problem.delta p in
   if Constr.expansion_estimate p.node > expand_limit then
-    failwith "Rounde.rbar: node constraint expansion too large";
+    Budget.exceeded ~budget:"Rounde.rbar: node constraint expansion"
+      ~limit:expand_limit;
   (* Enumerate the right-closed sets before building the (much more
      expensive) sub-multiset table: the enumeration is output-sensitive
      and [rc_limit]-guarded, so hopeless instances die in milliseconds
@@ -327,7 +329,8 @@ let valid_boxes_impl ?pool (p : Problem.t) ~expand_limit ~rc_limit =
   let charge amount =
     let before = Atomic.fetch_and_add work amount in
     if before + amount > box_work_limit then
-      failwith "Rounde.rbar: box enumeration exceeded the work budget"
+      Budget.exceeded ~budget:"Rounde.rbar: box enumeration work"
+        ~limit:(float_of_int box_work_limit)
   in
   let minimals = Array.map (Diagram.minimal_elements diagram) rc in
   (* The DFS fans out over the top-level right-closed-set choice: branch
@@ -569,7 +572,8 @@ let rbar_impl ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool (p : Problem.t) 
   in
   let denots = Array.of_list (SS.elements sets) in
   if Array.length denots > Labelset.max_label then
-    failwith "Rounde.rbar: output alphabet exceeds the label budget";
+    Budget.exceeded ~budget:"Rounde.rbar: output alphabet width"
+      ~limit:(float_of_int Labelset.max_label);
   let alpha'' = intern_sets p.alpha denots in
   let index_of =
     let tbl = Hashtbl.create 16 in

@@ -112,7 +112,7 @@ val r : Problem.t -> denoted
     count; the work budget is shared across branches through an atomic
     counter, so whether it trips is a property of the instance, not of
     the schedule.
-    @raise Failure if any budget is exceeded. *)
+    @raise Budget.Budget_exceeded if any budget is exceeded. *)
 val rbar :
   ?expand_limit:float -> ?rc_limit:int -> ?pool:Parallel.Pool.t ->
   Problem.t -> denoted

@@ -23,7 +23,8 @@ let search ?(max_steps = 4) ?expand_limit ?pool (p : Problem.t) =
       Trace.instant "upperbound.step" ~attrs:[ ("steps", string_of_int steps) ];
       match Rounde.step ?expand_limit ?pool p with
       | { Rounde.problem = next; _ } -> go (Simplify.normalize next) (steps + 1)
-      | exception Failure _ -> verdict (Unknown_after steps)
+      | exception (Budget.Budget_exceeded _ | Failure _) ->
+          verdict (Unknown_after steps)
     end
   in
   go (Simplify.normalize p) 0

@@ -101,10 +101,8 @@ let iter_maximal_cliques ?(max_expansions = 1_000_000) compat n f =
     incr expansions;
     stats.bk_expansions <- stats.bk_expansions + 1;
     if !expansions > max_expansions then
-      failwith
-        (Printf.sprintf
-           "Zeroround: maximal-clique enumeration exceeded %d expansions"
-           max_expansions);
+      Budget.exceeded ~budget:"Zeroround: maximal-clique enumeration"
+        ~limit:(float_of_int max_expansions);
     if Labelset.is_empty p && Labelset.is_empty x then begin
       if not (Labelset.is_empty r) then begin
         stats.maximal_cliques <- stats.maximal_cliques + 1;
@@ -167,10 +165,8 @@ let solvable_arbitrary_ports_impl ?(max_expansions = 1_000_000) ?pool p =
     local.expansions <- local.expansions + 1;
     let before = Atomic.fetch_and_add budget 1 in
     if before + 1 > max_expansions then
-      failwith
-        (Printf.sprintf
-           "Zeroround: maximal-clique enumeration exceeded %d expansions"
-           max_expansions)
+      Budget.exceeded ~budget:"Zeroround: maximal-clique enumeration"
+        ~limit:(float_of_int max_expansions)
   in
   let vertices = ref Labelset.empty in
   for a = 0 to n - 1 do

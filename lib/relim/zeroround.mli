@@ -44,7 +44,7 @@ val solvable_mirrored : Problem.t -> Multiset.t option
     exponential in pathological graphs.  The budget is shared across
     subtrees through an atomic counter, so whether it trips is a
     property of the instance, not of the schedule.
-    @raise Failure when the bound is exceeded. *)
+    @raise Budget.Budget_exceeded when the bound is exceeded. *)
 val solvable_arbitrary_ports :
   ?max_expansions:int -> ?pool:Parallel.Pool.t -> Problem.t ->
   Multiset.t option
@@ -53,7 +53,8 @@ val solvable_arbitrary_ports :
     of the compatibility graph on labels [0 .. n-1], restricted to
     self-compatible labels.  Exposed for the equivalence tests and the
     benchmark harness.  Raise from [f] to stop early.
-    @raise Failure when [max_expansions] (default 10⁶) is exceeded. *)
+    @raise Budget.Budget_exceeded when [max_expansions] (default 10⁶)
+    is exceeded. *)
 val iter_maximal_cliques :
   ?max_expansions:int -> bool array array -> int -> (Labelset.t -> unit) -> unit
 
@@ -64,8 +65,8 @@ val iter_maximal_cliques :
     number of concrete allowed node configurations.  Returns that bound
     ([None] when the problem is 0-round solvable).  The paper's family
     has [c = 3], giving the bound [1/(3Δ)² ≥ 1/Δ⁸] used by Theorem 14.
-    @raise Failure if the node constraint expansion exceeds [limit]
-    (default 2e6). *)
+    @raise Budget.Budget_exceeded if the node constraint expansion
+    exceeds [limit] (default 2e6). *)
 val randomized_failure_bound : ?limit:float -> Problem.t -> float option
 
 (** Labels compatible with themselves under the edge constraint. *)

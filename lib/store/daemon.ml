@@ -43,6 +43,12 @@ type prepared =
       canon : string;
       max_steps : int option;
     }
+  | Do_autopilot of {
+      id : Json.t;
+      problem : Problem.t;
+      canon : string;
+      max_steps : int option;
+    }
   | Do_ctl of Protocol.request
 
 let prepare line =
@@ -64,6 +70,12 @@ let prepare line =
       | exception Failure msg ->
           Ready (Protocol.error_line ~id Protocol.Bad_request
                    ("problem text: " ^ msg)))
+  | Ok (Protocol.Autopilot { id; problem; max_steps }) -> (
+      match canonicalize problem with
+      | problem, canon -> Do_autopilot { id; problem; canon; max_steps }
+      | exception Failure msg ->
+          Ready (Protocol.error_line ~id Protocol.Bad_request
+                   ("problem text: " ^ msg)))
 
 (* ------------------------------------------------------------------ *)
 (* Compute phase (sequential; the engine parallelizes internally)      *)
@@ -76,6 +88,7 @@ type state = {
      identical requests in one batch cost one engine run. *)
   step_memo : (string, (string * Json.t) list * bool) Hashtbl.t;
   fp_memo : (string * int option, (string * Json.t) list * bool) Hashtbl.t;
+  ap_memo : (string * int option, (string * Json.t) list * bool) Hashtbl.t;
   mutable requests : int;
   mutable served_ok : int;
   mutable served_error : int;
@@ -202,6 +215,93 @@ let compute_fp st (p : Problem.t) canon max_steps =
             ],
             false ))
 
+let compute_autopilot st (p : Problem.t) canon max_steps =
+  ignore canon;
+  match
+    match st.store with Some s -> Disk.find_autopilot s p | None -> None
+  with
+  | Some result_text ->
+      (* A stored period-1 cycle on (a problem isomorphic to) the
+         canonicalized input: serve it without searching. *)
+      ( [
+          ("verdict", Json.String "fixed-point");
+          ("period", Json.Int 1);
+          ("steps", Json.Int 1);
+          ("fixed", Json.String result_text);
+        ],
+        true )
+  | None ->
+      let limits =
+        match max_steps with
+        | None -> Autopilot.default_limits
+        | Some k -> { Autopilot.default_limits with Autopilot.max_steps = k }
+      in
+      let report = Autopilot.search ~limits ~pool:st.pool p in
+      (* Land every period-1 cycle certificate: the last accepted step
+         is the one that closed the cycle, and its own source problem
+         (not the request's) keys the entry. *)
+      (match (st.store, report.Autopilot.verdict) with
+      | Some store, Autopilot.Fixed_point { period = 1; _ } -> (
+          match List.rev report.Autopilot.steps with
+          | { Autopilot.certificate =
+                Certify.Certificate.Relaxed_step rs as cert;
+              _;
+            }
+            :: _ -> (
+              match Serialize.of_string rs.Certify.Certificate.rs_source with
+              | source -> (
+                  match Disk.add_autopilot store ~source cert with
+                  | Ok () -> ()
+                  | Error msg ->
+                      Trace.instant "daemon.store_admission_failed"
+                        ~attrs:[ ("error", msg) ])
+              | exception Failure msg ->
+                  Trace.instant "daemon.store_admission_failed"
+                    ~attrs:[ ("error", msg) ])
+          | _ -> ())
+      | _ -> ());
+      let base =
+        [
+          ( "verdict",
+            Json.String
+              (match report.Autopilot.verdict with
+              | Autopilot.Fixed_point _ -> "fixed-point"
+              | Autopilot.Upper_bound _ -> "upper-bound"
+              | Autopilot.Exhausted _ -> "exhausted") );
+          ("steps", Json.Int (List.length report.Autopilot.steps));
+          ("candidates", Json.Int report.Autopilot.candidates_explored);
+          ("budget_skips", Json.Int report.Autopilot.budget_skips);
+          ("certified", Json.Int report.Autopilot.certified_steps);
+        ]
+      in
+      let extra =
+        match report.Autopilot.verdict with
+        | Autopilot.Fixed_point { problem; period } ->
+            [
+              ("period", Json.Int period);
+              ("fixed", Json.String (Serialize.to_string problem));
+              ( "lower_bound",
+                Json.String
+                  (Printf.sprintf
+                     "problem %s admits a certified relaxed fixed point: \
+                      Omega(log n) deterministic and Omega(log log n) \
+                      randomized LOCAL lower bounds"
+                     p.Problem.name) );
+            ]
+        | Autopilot.Upper_bound { steps } ->
+            [
+              ( "upper_bound",
+                Json.String
+                  (Printf.sprintf
+                     "solvable in %d round(s) in the PN model on high-girth \
+                      Delta-regular instances"
+                     steps) );
+            ]
+        | Autopilot.Exhausted { last } ->
+            [ ("last", Json.String (Serialize.to_string last)) ]
+      in
+      (base @ extra, false)
+
 let stats_fields st =
   let store_fields =
     match st.store with
@@ -254,6 +354,8 @@ let answer st prepared =
             result
       with
       | fields, cached -> ok (Protocol.ok_line ~id ~cached fields)
+      | exception Budget.Budget_exceeded { budget; limit } ->
+          ok (Protocol.budget_error_line ~id ~budget ~limit)
       | exception Failure msg ->
           ok (Protocol.error_line ~id Protocol.Engine_error msg))
   | Do_fp { id; problem; canon; max_steps } -> (
@@ -268,6 +370,26 @@ let answer st prepared =
             result
       with
       | fields, cached -> ok (Protocol.ok_line ~id ~cached fields)
+      | exception Budget.Budget_exceeded { budget; limit } ->
+          ok (Protocol.budget_error_line ~id ~budget ~limit)
+      | exception Failure msg ->
+          ok (Protocol.error_line ~id Protocol.Engine_error msg))
+  | Do_autopilot { id; problem; canon; max_steps } -> (
+      Trace.with_span "daemon.request" ~attrs:[ ("op", "autopilot") ]
+      @@ fun () ->
+      match
+        match Hashtbl.find_opt st.ap_memo (canon, max_steps) with
+        | Some (fields, _) -> (fields, true)
+        | None ->
+            let result = compute_autopilot st problem canon max_steps in
+            Hashtbl.replace st.ap_memo (canon, max_steps) result;
+            result
+      with
+      | fields, cached -> ok (Protocol.ok_line ~id ~cached fields)
+      | exception Budget.Budget_exceeded { budget; limit } ->
+          (* The search absorbs per-candidate overruns itself; this
+             only fires for overruns outside the candidate loop. *)
+          ok (Protocol.budget_error_line ~id ~budget ~limit)
       | exception Failure msg ->
           ok (Protocol.error_line ~id Protocol.Engine_error msg))
   | Do_ctl (Protocol.Stats { id }) -> ok (Protocol.ok_line ~id (stats_fields st))
@@ -340,6 +462,7 @@ let serve ?(stop = fun () -> false) (config : config) =
       pool;
       step_memo = Hashtbl.create 64;
       fp_memo = Hashtbl.create 64;
+      ap_memo = Hashtbl.create 64;
       requests = 0;
       served_ok = 0;
       served_error = 0;

@@ -1,6 +1,9 @@
 open Relim
 
-type payload = Step_result of string | Fixed_point of int * string
+type payload =
+  | Step_result of string
+  | Fixed_point of int * string
+  | Autopilot_cycle of string
 
 type entry = { key_text : string; key_problem : Problem.t; payload : payload }
 
@@ -166,6 +169,30 @@ let load_entry path =
         Step_result s.Certify.Certificate.result
     | "fixed-point", Certify.Certificate.Fixed_point { problem } ->
         Fixed_point (steps, problem)
+    | "autopilot", Certify.Certificate.Relaxed_step rs ->
+        (* Beyond the certificate itself (one valid relaxed speedup
+           step), an autopilot entry claims a lower bound: the step
+           must close a period-1 cycle on its own key, and the key must
+           not be 0-round solvable. *)
+        if rs.Certify.Certificate.rs_source <> key_text then
+          faili "certificate source differs from entry key";
+        let result =
+          match Serialize.of_string rs.Certify.Certificate.rs_result with
+          | p -> p
+          | exception Failure m -> faili "result problem does not parse: %s" m
+        in
+        if
+          not
+            (Iso.equal_up_to_renaming
+               (Simplify.normalize key_problem)
+               (Simplify.normalize result))
+        then faili "autopilot entry does not close a round-elimination cycle";
+        (match Zeroround.solvable_arbitrary_ports key_problem with
+        | Some _ -> faili "autopilot entry key is 0-round solvable"
+        | None -> ()
+        | exception Budget.Budget_exceeded { budget; limit } ->
+            faili "cannot confirm hardness: %s" (Budget.message ~budget ~limit));
+        Autopilot_cycle rs.Certify.Certificate.rs_result
     | k, _ -> faili "kind %S does not match its certificate" k
   in
   { key_text; key_problem; payload }
@@ -333,6 +360,43 @@ let add_fixed_point t ~source ~steps cert =
       else
         admit t "fixed-point" ~steps ~source cert (Fixed_point (steps, problem))
   | _ -> Error "fixed-point entry needs a Fixed_point certificate"
+
+let find_autopilot t p =
+  match find t "autopilot" p with
+  | Some { payload = Autopilot_cycle text; _ } -> Some text
+  | _ -> None
+
+let add_autopilot t ~source cert =
+  match cert with
+  | Certify.Certificate.Relaxed_step rs -> (
+      if rs.Certify.Certificate.rs_source <> Serialize.to_string source then
+        Error "certificate source differs from the entry key"
+      else
+        match Serialize.of_string rs.Certify.Certificate.rs_result with
+        | exception Failure m -> Error ("result problem does not parse: " ^ m)
+        | result ->
+            if
+              not
+                (Iso.equal_up_to_renaming
+                   (Simplify.normalize source)
+                   (Simplify.normalize result))
+            then
+              Error
+                "autopilot entry must close a period-1 cycle (source and \
+                 result are not isomorphic after normalization)"
+            else (
+              match Zeroround.solvable_arbitrary_ports source with
+              | Some _ ->
+                  Error
+                    "autopilot entry key is 0-round solvable: a cycle on it \
+                     claims no lower bound"
+              | None ->
+                  admit t "autopilot" ~source cert
+                    (Autopilot_cycle rs.Certify.Certificate.rs_result)
+              | exception Budget.Budget_exceeded { budget; limit } ->
+                  Error
+                    ("cannot confirm hardness: " ^ Budget.message ~budget ~limit)))
+  | _ -> Error "autopilot entry needs a Relaxed_step certificate"
 
 let validate_all t =
   let files = entry_files t in

@@ -80,6 +80,22 @@ val add_fixed_point :
   Certify.Certificate.t ->
   (unit, string) result
 
+(** [find_autopilot t p] is the stored relaxed-cycle result text for a
+    problem isomorphic to [p], if an autopilot entry is admitted.  The
+    result is a problem isomorphic to [p] after normalization — the
+    entry's value is the lower-bound claim its certificate carries. *)
+val find_autopilot : t -> Relim.Problem.t -> string option
+
+(** [add_autopilot t ~source cert] admits a relaxed-cycle entry keyed
+    by [source].  The certificate must be a [Relaxed_step] whose
+    source text is exactly [Serialize.to_string source], whose result
+    is isomorphic to [source] after normalization (a period-1 cycle),
+    and [source] must not be 0-round solvable — the combination is
+    what makes the entry a lower-bound witness (Ω(log n) LOCAL).  All
+    three conditions are re-checked on load. *)
+val add_autopilot :
+  t -> source:Relim.Problem.t -> Certify.Certificate.t -> (unit, string) result
+
 (** Scan every entry file in the store, re-validating each from
     scratch: [(total, ok, rejects)] where [rejects] pairs a filename
     with the reason it was rejected. *)

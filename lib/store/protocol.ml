@@ -1,6 +1,7 @@
 type request =
   | Step of { id : Json.t; problem : string }
   | Fixed_point of { id : Json.t; problem : string; max_steps : int option }
+  | Autopilot of { id : Json.t; problem : string; max_steps : int option }
   | Ping of { id : Json.t }
   | Stats of { id : Json.t }
   | Shutdown of { id : Json.t }
@@ -8,6 +9,7 @@ type request =
 let request_id = function
   | Step { id; _ }
   | Fixed_point { id; _ }
+  | Autopilot { id; _ }
   | Ping { id }
   | Stats { id }
   | Shutdown { id } ->
@@ -39,17 +41,19 @@ let decode line =
               match problem () with
               | Ok problem -> Ok (Step { id; problem })
               | Error m -> Error (id, Bad_request, m))
-          | Some "fixed-point" -> (
+          | Some (("fixed-point" | "autopilot") as op) -> (
               match problem () with
               | Error m -> Error (id, Bad_request, m)
               | Ok problem -> (
+                  let mk max_steps =
+                    if op = "autopilot" then Autopilot { id; problem; max_steps }
+                    else Fixed_point { id; problem; max_steps }
+                  in
                   match Json.member "max_steps" json with
-                  | None ->
-                      Ok (Fixed_point { id; problem; max_steps = None })
+                  | None -> Ok (mk None)
                   | Some v -> (
                       match Json.int_opt v with
-                      | Some k when k >= 1 ->
-                          Ok (Fixed_point { id; problem; max_steps = Some k })
+                      | Some k when k >= 1 -> Ok (mk (Some k))
                       | _ ->
                           Error
                             (id, Bad_request, "\"max_steps\" must be an integer >= 1"))))
@@ -71,6 +75,28 @@ let error_line ~id code message =
              [
                ("code", Json.String (code_string code));
                ("message", Json.String message);
+             ] );
+       ])
+
+(* Budget overruns get their own error shape: the code is "budget" and
+   the budget's name and numeric limit travel as structured fields, so
+   a client can retry with a larger limit without parsing the message. *)
+let budget_error_line ~id ~budget ~limit =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.String "budget");
+               ("budget", Json.String budget);
+               ( "limit",
+                 if Float.is_integer limit && Float.abs limit < 1e15 then
+                   Json.Int (int_of_float limit)
+                 else Json.Float limit );
+               ("message", Json.String (Relim.Budget.message ~budget ~limit));
              ] );
        ])
 

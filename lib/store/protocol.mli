@@ -6,6 +6,7 @@
     {v
     {"id": <any>, "op": "step",        "problem": "<Serialize text>"}
     {"id": <any>, "op": "fixed-point", "problem": "<text>", "max_steps": 5}
+    {"id": <any>, "op": "autopilot",   "problem": "<text>", "max_steps": 5}
     {"id": <any>, "op": "ping"}
     {"id": <any>, "op": "stats"}
     {"id": <any>, "op": "shutdown"}
@@ -27,6 +28,7 @@
 type request =
   | Step of { id : Json.t; problem : string }
   | Fixed_point of { id : Json.t; problem : string; max_steps : int option }
+  | Autopilot of { id : Json.t; problem : string; max_steps : int option }
   | Ping of { id : Json.t }
   | Stats of { id : Json.t }
   | Shutdown of { id : Json.t }
@@ -44,6 +46,13 @@ val decode : string -> (request, Json.t * error_code * string) result
 
 (** Render an error response line (no trailing newline). *)
 val error_line : id:Json.t -> error_code -> string -> string
+
+(** Render the structured budget-overrun error line: code ["budget"]
+    with the budget's name and numeric limit as their own fields
+    (integral limits as JSON integers), plus the human-readable
+    {!Relim.Budget.message}.  Clients can retry with a larger limit
+    without parsing prose. *)
+val budget_error_line : id:Json.t -> budget:string -> limit:float -> string
 
 (** Render a success response line; [cached] is included only when
     given (compute ops set it, control ops don't). *)

@@ -1,0 +1,123 @@
+(* The relaxation-search autopilot end to end: the sinkless-orientation
+   fixed point rediscovered as a certified relaxed cycle, the
+   Pi(5,4,2) upper bound reached through a quotient cover where the
+   plain speedup step trips its budget, certificate round-trips, and
+   the certificate-gated store admission of discovered cycles. *)
+
+module A = Autopilot
+module Cert = Certify.Certificate
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let so () = Lcl.Encodings.sinkless_orientation ~delta:3
+let pi542 () = Core.Family.pi { Core.Family.delta = 5; a = 4; x = 2 }
+
+(* CI-sized limits: enough for both reference runs, small enough that
+   rejected candidates fail fast. *)
+let tight =
+  {
+    A.default_limits with
+    A.expand_limit = 50_000.;
+    rc_limit = 4_000;
+    beam = 12;
+    max_steps = 4;
+  }
+
+(* Every accepted step's certificate must re-validate independently
+   and survive a to_text/of_text round trip. *)
+let check_steps_certified (r : A.report) =
+  check_int "certified = accepted" (List.length r.A.steps) r.A.certified_steps;
+  List.iter
+    (fun (s : A.accepted) ->
+      (match Cert.validate s.A.certificate with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "step %d certificate: %s" s.A.step_index m);
+      let text = Cert.to_text s.A.certificate in
+      match Cert.of_text text with
+      | Error m -> Alcotest.failf "step %d reparse: %s" s.A.step_index m
+      | Ok c2 ->
+          check_bool
+            (Printf.sprintf "step %d text round-trip" s.A.step_index)
+            true
+            (String.equal text (Cert.to_text c2));
+          (match Cert.validate c2 with
+          | Ok () -> ()
+          | Error m ->
+              Alcotest.failf "step %d reparsed certificate: %s" s.A.step_index m))
+    r.A.steps
+
+let test_so_fixed_point () =
+  let r = A.search (so ()) in
+  (match r.A.verdict with
+  | A.Fixed_point { period; problem } ->
+      check_int "period-1 cycle" 1 period;
+      (* The fixed point must be hard — that is the lower bound. *)
+      check_bool "cycle state not 0-round solvable" true
+        (Relim.Zeroround.solvable_arbitrary_ports problem = None)
+  | v -> Alcotest.failf "expected a fixed point, got %s" (A.verdict_string v));
+  check_bool "took at least one step" true (r.A.steps <> []);
+  check_steps_certified r
+
+let test_pi_budget_wall () =
+  let r = A.search ~limits:tight (pi542 ()) in
+  (match r.A.verdict with
+  | A.Upper_bound { steps } ->
+      check_bool "bounded by the step budget" true (steps <= tight.A.max_steps)
+  | v -> Alcotest.failf "expected an upper bound, got %s" (A.verdict_string v));
+  (* The point of the run: the plain step trips its budget, and a
+     quotient cover carries the search through the wall. *)
+  check_bool "budget wall was hit" true (r.A.budget_skips > 0);
+  check_bool "a cover step broke through" true
+    (List.exists (fun (s : A.accepted) -> s.A.cover <> None) r.A.steps);
+  check_steps_certified r
+
+let test_store_admission () =
+  let r = A.search (so ()) in
+  let cert =
+    match List.rev r.A.steps with
+    | last :: _ -> last.A.certificate
+    | [] -> Alcotest.fail "no accepted steps"
+  in
+  let rs =
+    match cert with
+    | Cert.Relaxed_step rs -> rs
+    | _ -> Alcotest.fail "cycle certificate is not a relaxed step"
+  in
+  let source = Relim.Serialize.of_string rs.Cert.rs_source in
+  let dir =
+    let d = Filename.temp_file "autopilot-store" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let store = Store.Disk.open_dir dir in
+  (match Store.Disk.add_autopilot store ~source cert with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "admission: %s" m);
+  check_bool "served back" true
+    (Store.Disk.find_autopilot store source = Some rs.Cert.rs_result);
+  (* A fresh handle re-validates the entry from disk — certificate,
+     cycle condition, and hardness — before serving it. *)
+  let fresh = Store.Disk.open_dir dir in
+  check_bool "served after reopen (full re-validation)" true
+    (Store.Disk.find_autopilot fresh source = Some rs.Cert.rs_result);
+  (* Keying is not decorative: admitting under a different problem
+     must be rejected (the certificate speaks about its own source). *)
+  match Store.Disk.add_autopilot store ~source:(so ()) cert with
+  | Ok () -> Alcotest.fail "mis-keyed admission accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "autopilot"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "SO fixed point rediscovered" `Quick
+            test_so_fixed_point;
+          Alcotest.test_case "Pi(5,4,2) through the budget wall" `Slow
+            test_pi_budget_wall;
+        ] );
+      ( "store",
+        [ Alcotest.test_case "cycle admission" `Quick test_store_admission ] );
+    ]

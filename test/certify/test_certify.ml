@@ -176,7 +176,7 @@ let test_pi5_run_certified () =
         if i <= 3 then
           match Rounde.step ~pool:Parallel.Pool.sequential p with
           | d -> go (Simplify.normalize d.Rounde.problem) (i + 1)
-          | exception Failure _ -> ()
+          | exception Budget.Budget_exceeded _ -> ()
       in
       go pi5 1);
   let s = Certify.Check.stats in

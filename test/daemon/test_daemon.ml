@@ -106,6 +106,64 @@ let test_golden_transcript () =
     {|{"id":99,"ok":true,"result":{"pong":true}}|}
     (request c {|{"id":99,"op":"ping"}|})
 
+(* Regression: a budget overrun inside the engine used to surface as a
+   generic engine-error Failure; it is now a structured "budget" error
+   echoing the tripped budget's name and configured limit.  The
+   request is the one speedup step past Pi(5,4,2) — its node
+   constraint expansion overruns the default engine budget
+   immediately. *)
+let test_budget_error_transcript () =
+  let budget_req =
+    let pi = Core.Family.pi { Core.Family.delta = 5; a = 4; x = 2 } in
+    let { Relim.Rounde.problem = s1; _ } = Relim.Rounde.step pi in
+    let text = Relim.Serialize.to_string (Relim.Simplify.normalize s1) in
+    let escaped = String.concat "\\n" (String.split_on_char '\n' text) in
+    {|{"id":7,"op":"step","problem":"|} ^ escaped ^ {|"}|}
+  in
+  with_daemon @@ fun sock ->
+  let c = connect sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  check_string "structured budget error, pinned bytes"
+    {|{"id":7,"ok":false,"error":{"code":"budget","budget":"Rounde.rbar: node constraint expansion","limit":2000000,"message":"budget exceeded: Rounde.rbar: node constraint expansion (limit 2000000)"}}|}
+    (request c budget_req);
+  (* A budget error is an answer, not a connection failure. *)
+  check_string "still serving after the budget error"
+    {|{"id":8,"ok":true,"result":{"pong":true}}|}
+    (request c {|{"id":8,"op":"ping"}|})
+
+(* ------------------------------------------------------------------ *)
+(* Autopilot                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ap_req =
+  {|{"id":"ap","op":"autopilot","problem":"problem SO\ndelta 3\nnode:\nO [IO]^2\nedge:\nO I\n"}|}
+
+let ap_expected =
+  {|{"id":"ap","ok":true,"cached":false,"result":{"verdict":"fixed-point","steps":2,"candidates":2,"budget_skips":0,"certified":2,"period":1,"fixed":"problem Rbar(R(Rbar(R(SO))))\ndelta 3\nnode:\nO,OI OI,O,OI^2\nedge:\nOI,O,OI^2\nO,OI OI,O,OI\n","lower_bound":"problem SO admits a certified relaxed fixed point: Omega(log n) deterministic and Omega(log log n) randomized LOCAL lower bounds"}}|}
+
+let test_autopilot_op () =
+  with_daemon @@ fun sock ->
+  let c = connect sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  check_string "sinkless orientation rediscovered, pinned bytes" ap_expected
+    (request c ap_req);
+  (* Same canonicalized problem again: served from the in-run memo. *)
+  let again = request c ap_req in
+  check_bool "repeat flagged cached" true
+    (contains ~sub:{|"cached":true|} again);
+  check_bool "repeat carries the same verdict" true
+    (contains ~sub:{|"verdict":"fixed-point"|} again);
+  (* max_steps is honored over the wire: one accepted step cannot
+     close the SO cycle, so the search exhausts. *)
+  let capped =
+    request c
+      {|{"id":"ap1","op":"autopilot","problem":"problem SO\ndelta 3\nnode:\nO [IO]^2\nedge:\nO I\n","max_steps":1}|}
+  in
+  check_bool "capped search exhausts" true
+    (contains ~sub:{|"verdict":"exhausted"|} capped);
+  check_bool "capped response reports the last state" true
+    (contains ~sub:{|"last":"|} capped)
+
 (* ------------------------------------------------------------------ *)
 (* Pipelining and concurrent clients                                   *)
 (* ------------------------------------------------------------------ *)
@@ -305,6 +363,32 @@ let test_restart_survives_corruption () =
   Client.close c;
   Domain.join d
 
+(* Cold/warm against the store: the period-1 cycle certificate is
+   admitted on the cold run, keyed by the cycle state itself (that is
+   the problem the certificate proves something about).  A fresh
+   daemon serves a request for the cycle state straight from the store
+   (re-validating the certificate plus the cycle and hardness
+   conditions on load); a request for the original problem repeats the
+   search, since the stored entry only witnesses the cycle. *)
+let ap_fixed_req =
+  {|{"id":"apf","op":"autopilot","problem":"problem Rbar(R(Rbar(R(SO))))\ndelta 3\nnode:\nO,OI OI,O,OI^2\nedge:\nOI,O,OI^2\nO,OI OI,O,OI\n"}|}
+
+let test_autopilot_store_roundtrip () =
+  let store_dir = Filename.concat (tmpdir ()) "store" in
+  let cold = daemon_round ~store_dir [ ap_req ] in
+  check_string "cold run computes and pins the search result" ap_expected
+    (List.hd cold);
+  let warm = daemon_round ~store_dir [ ap_fixed_req; ap_req ] in
+  let on_cycle = List.nth warm 0 and on_request = List.nth warm 1 in
+  check_bool "cycle state served from the store" true
+    (contains ~sub:{|"cached":true|} on_cycle);
+  check_bool "stored verdict is the fixed point" true
+    (contains ~sub:{|"verdict":"fixed-point"|} on_cycle);
+  check_bool "no search behind the store hit" true
+    (contains ~sub:{|"steps":1|} on_cycle);
+  check_bool "original request searches again" true
+    (contains ~sub:{|"cached":false|} on_request)
+
 (* Within one lifetime, a repeated request is served from memory and
    flagged cached. *)
 let test_within_run_dedup () =
@@ -323,9 +407,17 @@ let () =
       ( "wire",
         [
           Alcotest.test_case "golden transcript" `Quick test_golden_transcript;
+          Alcotest.test_case "budget error transcript" `Quick
+            test_budget_error_transcript;
           Alcotest.test_case "pipelining order" `Quick test_pipelining;
           Alcotest.test_case "concurrent clients" `Quick
             test_concurrent_clients;
+        ] );
+      ( "autopilot",
+        [
+          Alcotest.test_case "op + memo + max_steps" `Quick test_autopilot_op;
+          Alcotest.test_case "store round-trip" `Quick
+            test_autopilot_store_roundtrip;
         ] );
       ( "hardening",
         [

@@ -347,17 +347,17 @@ let test_rbar_guard () =
       ~edge:"[ABCDEFGHIJKLMNOPQRSTU] [ABCDEFGHIJKLMNOPQRSTU]"
   in
   match Rounde.rbar big with
-  | exception Failure msg ->
+  | exception Budget.Budget_exceeded { budget; _ } ->
       let has needle =
         let len = String.length needle in
         let rec scan i =
-          i + len <= String.length msg
-          && (String.sub msg i len = needle || scan (i + 1))
+          i + len <= String.length budget
+          && (String.sub budget i len = needle || scan (i + 1))
         in
         scan 0
       in
-      check_bool "budget message" true (has "right-closed")
-  | _ -> Alcotest.fail "expected right-closed-set budget failure"
+      check_bool "budget name" true (has "right-closed")
+  | _ -> Alcotest.fail "expected right-closed-set budget overrun"
 
 let test_r_empty_node () =
   (* Label Y appears on no edge line, so the only node line dies during
@@ -411,6 +411,132 @@ let test_relax_constr () =
     (Relax.constr_relaxes ~leq:Relax.label_equal c1 c2);
   check_bool "not conversely" false
     (Relax.constr_relaxes ~leq:Relax.label_equal c2 c1)
+
+(* Regression: a disjunctive target line silently never matched under
+   the old slot-by-slot matcher; the precondition is now enforced. *)
+let test_relax_nonconcrete_rejected () =
+  let c = Constr.make [ Parse.line alpha5 "M [PO]" ] in
+  let y = Multiset.of_list [ 0; 1 ] in
+  Alcotest.check_raises "non-concrete line rejected"
+    (Invalid_argument
+       "Relax.multiset_relaxes_into_constr: constraint has a non-concrete \
+        line (disjunction group); expand it first or use constr_relaxes")
+    (fun () ->
+      ignore (Relax.multiset_relaxes_into_constr ~leq:Relax.label_equal y c))
+
+(* Regression: budget trips in the relaxation checker surface as the
+   typed [Budget.Budget_exceeded] (echoing the configured limit), not
+   as a bare [Failure _]. *)
+let test_relax_budget_typed () =
+  let big = Constr.make [ Parse.line alpha5 "[MPOAX] [MPOAX] [MPOAX]" ] in
+  match Relax.constr_relaxes ~limit:3. ~leq:Relax.label_equal big big with
+  | _ -> Alcotest.fail "expected Budget_exceeded"
+  | exception Budget.Budget_exceeded { budget; limit } ->
+      check_bool "names the expansion budget" true
+        (budget = "Constr.expand: constraint expansion");
+      check_bool "echoes the limit" true (limit = 3.)
+
+(* Property suite: the transport-based decision procedures pinned
+   against brute-force references — explicit permutation matching for
+   configurations, full expansion of both sides for constraints. *)
+let relax_qcheck =
+  (* Random preorders on {0..3}: reflexive-transitive closure of a
+     random relation encoded in 16 bits. *)
+  let order_of_bits bits =
+    let m = Array.make_matrix 4 4 false in
+    for a = 0 to 3 do
+      for b = 0 to 3 do
+        m.(a).(b) <- a = b || bits land (1 lsl ((4 * a) + b)) <> 0
+      done
+    done;
+    for k = 0 to 3 do
+      for a = 0 to 3 do
+        for b = 0 to 3 do
+          if m.(a).(k) && m.(k).(b) then m.(a).(b) <- true
+        done
+      done
+    done;
+    m
+  in
+  let ref_relaxes ~leq y z =
+    let ys = Multiset.to_list y and zs = Multiset.to_list z in
+    List.length ys = List.length zs
+    &&
+    let rec go ys zs =
+      match ys with
+      | [] -> true
+      | y :: rest ->
+          let rec pick acc = function
+            | [] -> false
+            | z :: more ->
+                (leq y z && go rest (List.rev_append acc more))
+                || pick (z :: acc) more
+          in
+          pick [] zs
+    in
+    go ys zs
+  in
+  let gen_bits = QCheck.(map (fun x -> x land 0xFFFF) small_nat) in
+  let gen_mset =
+    QCheck.(map Multiset.of_list (list_of_size Gen.(1 -- 4) (0 -- 3)))
+  in
+  let alpha4 = Alphabet.create [ "A"; "B"; "C"; "D" ] in
+  let group_text g =
+    let names = List.filteri (fun i _ -> g land (1 lsl i) <> 0) [ "A"; "B"; "C"; "D" ] in
+    match names with
+    | [ only ] -> only
+    | names -> "[" ^ String.concat "" names ^ "]"
+  in
+  (* A line is 2 slots, each a nonempty subset of {A..D}; a constraint
+     is 1-2 such lines.  Kept tiny so full expansion stays exact. *)
+  let gen_group = QCheck.(1 -- 15) in
+  let gen_line = QCheck.pair gen_group gen_group in
+  let gen_constr =
+    QCheck.(
+      map
+        (fun lines ->
+          Constr.make
+            (List.map
+               (fun (g1, g2) ->
+                 Parse.line alpha4 (group_text g1 ^ " " ^ group_text g2))
+               lines))
+        (list_of_size Gen.(1 -- 2) gen_line))
+  in
+  [
+    QCheck.Test.make ~name:"multiset_relaxes = permutation reference"
+      ~count:500
+      QCheck.(triple gen_bits gen_mset gen_mset)
+      (fun (bits, y, z) ->
+        let m = order_of_bits bits in
+        let leq a b = m.(a).(b) in
+        Relax.multiset_relaxes ~leq y z = ref_relaxes ~leq y z);
+    QCheck.Test.make ~name:"constr_relaxes = expand-both reference"
+      ~count:300
+      QCheck.(triple gen_bits gen_constr gen_constr)
+      (fun (bits, a, b) ->
+        let m = order_of_bits bits in
+        let leq x y = m.(x).(y) in
+        let ref_result =
+          let zs = Constr.expand b in
+          List.for_all
+            (fun y -> List.exists (fun z -> ref_relaxes ~leq y z) zs)
+            (Constr.expand a)
+        in
+        Relax.constr_relaxes ~leq a b = ref_result);
+    QCheck.Test.make ~name:"multiset_relaxes_into_constr = expand reference"
+      ~count:300
+      QCheck.(triple gen_bits gen_mset gen_constr)
+      (fun (bits, y, c) ->
+        let m = order_of_bits bits in
+        let leq a b = m.(a).(b) in
+        (* Concretize: one line per expanded configuration. *)
+        let concrete =
+          Constr.make
+            (List.map Line.of_multiset (Constr.expand c))
+        in
+        Relax.multiset_relaxes_into_constr ~leq y concrete
+        = List.exists (fun z -> ref_relaxes ~leq y z) (Constr.expand c));
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Zeroround                                                           *)
@@ -588,6 +714,9 @@ let main_suites =
           Alcotest.test_case "reflexive" `Quick test_relax_reflexive;
           Alcotest.test_case "ordered" `Quick test_relax_with_order;
           Alcotest.test_case "constraints" `Quick test_relax_constr;
+          Alcotest.test_case "non-concrete rejected" `Quick
+            test_relax_nonconcrete_rejected;
+          Alcotest.test_case "typed budget" `Quick test_relax_budget_typed;
         ] );
       ( "zeroround",
         [
@@ -606,6 +735,7 @@ let main_suites =
           Alcotest.test_case "dot export" `Quick test_diagram_dot;
         ] );
       qsuite "engine-props" engine_qcheck;
+      qsuite "relax-props" relax_qcheck;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -908,7 +1038,7 @@ let theorem3_qcheck =
               match Rounde.step p with
               | { Rounde.problem = stepped; _ } ->
                   Zeroround.solvable_arbitrary_ports stepped <> None
-              | exception Failure _ -> true (* engine budget; skip *)
+              | exception Budget.Budget_exceeded _ -> true (* budget; skip *)
             end
         end);
   ]
@@ -1317,13 +1447,14 @@ let test_rc_limit_guard () =
   let d = Diagram.edge_diagram mis3 in
   (* MIS has exactly 5 right-closed sets. *)
   (match Diagram.right_closed_sets ~limit:4 d with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected rc-budget failure");
+  | exception Budget.Budget_exceeded { limit; _ } ->
+      check_int "overrun reports the limit" 4 (int_of_float limit)
+  | _ -> Alcotest.fail "expected rc-budget overrun");
   check_int "exactly at the budget" 5
     (List.length (Diagram.right_closed_sets ~limit:5 d));
   (match Diagram.iter_right_closed ~limit:2 d (fun _ -> ()) with
-  | exception Failure _ -> ()
-  | () -> Alcotest.fail "expected iterator budget failure");
+  | exception Budget.Budget_exceeded _ -> ()
+  | () -> Alcotest.fail "expected iterator budget overrun");
   (* The iterator supports early exit by raising from the callback. *)
   let seen = ref 0 in
   (match
@@ -1428,8 +1559,8 @@ let test_clique_guard () =
   let compat, n = compat_of mis3 in
   match Zeroround.iter_maximal_cliques ~max_expansions:0 compat n (fun _ -> ())
   with
-  | exception Failure _ -> ()
-  | () -> Alcotest.fail "expected expansion-budget failure"
+  | exception Budget.Budget_exceeded _ -> ()
+  | () -> Alcotest.fail "expected expansion-budget overrun"
 
 let test_zeroround_stats () =
   Zeroround.reset_stats ();
@@ -1599,7 +1730,7 @@ let rbar_reference_qcheck =
         | None -> true
         | Some p -> (
             match Rounde.r p with
-            | exception Failure _ -> true
+            | exception (Budget.Budget_exceeded _ | Failure _) -> true
             | { Rounde.problem = p'; _ } ->
                 (* The brute-force reference is exponential in the label
                    count of R(Π); stay where it is cheap. *)
@@ -1607,6 +1738,7 @@ let rbar_reference_qcheck =
                 else
                   let exp_boxes, exp_pairs = reference_rbar p' in
                   (match engine_rbar p' with
+                  | exception Budget.Budget_exceeded _ -> true
                   | exception Failure _ ->
                       (* The engine refuses degenerate outputs (empty
                          node or edge constraint); the reference must
@@ -2028,6 +2160,8 @@ let parallel_determinism_qcheck =
                     ( Serialize.to_string problem,
                       Array.to_list denotations,
                       rounde_counters () )
+              | exception Budget.Budget_exceeded { budget; limit } ->
+                  Error (Budget.message ~budget ~limit)
               | exception Failure msg -> Error msg
             in
             let pool4 = Parallel.Pool.create ~domains:4 in

@@ -1,5 +1,5 @@
 .PHONY: all build test check bench bench-smoke fuzz-smoke examples-smoke \
-	trace-smoke daemond-smoke autopilot-smoke clean
+	trace-smoke daemond-smoke autopilot-smoke zdd-smoke clean
 
 all: build
 
@@ -19,14 +19,18 @@ bench:
 
 # Small pinned slice of the benchmark suite, suitable for CI: runs the
 # engine per-step statistics section (which exercises the lattice-native
-# R/Rbar pipeline end to end and rewrites BENCH_relim.json) and checks
-# that the hand-assembled JSON dump is well-formed and carries the
-# environment meta block (domains, OCaml version, dune profile) and the
-# roundelimd load-generator section.
+# R/Rbar pipeline end to end and rewrites BENCH_relim.json) plus the
+# ZDD Delta-wall scaling section, and checks that the hand-assembled
+# JSON dump is well-formed, carries the environment meta block
+# (domains, OCaml version, dune profile) and the roundelimd
+# load-generator section, and that the "zdd" section upholds the
+# engine contract (statuses, byte-identity flags, monotone node
+# counts, and a recorded explicit-budget/zdd-ok wall instance).
 bench-smoke:
 	dune build bench
 	dune exec bench/main.exe -- relim_perf
-	dune exec bench/validate_json.exe -- --require-meta --require-daemon BENCH_relim.json
+	dune exec bench/main.exe -- zdd
+	dune exec bench/validate_json.exe -- --require-meta --require-daemon --require-zdd BENCH_relim.json
 	dune exec bench/validate_trace.exe -- BENCH_trace.jsonl
 
 # End-to-end smoke of the round-elimination daemon and its
@@ -71,6 +75,17 @@ fuzz-smoke:
 	dune build bin
 	dune exec bin/certify_fuzz.exe -- --count 500 --seed 2026
 	dune exec bin/certify_fuzz.exe -- --count 25 --self-test --domains 1
+
+# ZDD-path smoke: the equivalence suite (engine ops vs brute force,
+# right-closed families vs the order-ideal enumeration, rbar
+# byte-identity, and the col_18 beyond-the-wall instance — explicit
+# path trips its budget, ZDD path completes), then the CLI on both
+# opt-in routes (--zdd flag and RELIM_ZDD env var).
+zdd-smoke:
+	dune build bin test/zdd
+	dune exec test/zdd/test_zdd.exe
+	dune exec bin/roundelim.exe -- step -p mis -d 3 -s 2 --zdd --stats > /dev/null
+	RELIM_ZDD=1 dune exec bin/roundelim.exe -- step -p mis -d 3 -s 2 > /dev/null
 
 # Compile and run the examples (they also run under `dune runtest`; this
 # target gives CI an explicit, separately-reported leg).

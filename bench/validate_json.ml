@@ -20,7 +20,23 @@
    With --require-autopilot, each file must carry an "autopilot"
    object — the certified relaxation-search section `make
    autopilot-smoke` keys on: per-problem verdicts plus the aggregate
-   candidates-explored / certified-steps / wall-time counters. *)
+   candidates-explored / certified-steps / wall-time counters.
+
+   With --require-zdd, each file must carry a "zdd" object — the
+   Δ-wall scaling section written by `bench/main.exe zdd` — and its
+   contents are value-checked against the engine's contract, keyed to
+   the emitter's flat per-instance shape:
+   {ul
+   {- every instance's [explicit_status] / [zdd_status] is "ok" or
+      "budget";}
+   {- [identical] is [true] whenever both paths completed (the
+      byte-identity contract) — never [false], and [null] only when a
+      side tripped;}
+   {- the [zdd_nodes] counts are monotone nondecreasing across the
+      instances (they are listed in increasing k);}
+   {- at least one instance trips a budget on the explicit path while
+      the ZDD path completes — the recorded proof that the wall
+      actually moved.}} *)
 
 exception Bad of int * string
 
@@ -46,6 +62,10 @@ let required_daemon_keys =
 let required_autopilot_keys =
   [ "problems"; "candidates_explored"; "budget_skips"; "certified_steps";
     "wall_s" ]
+
+(* Member names of the "zdd" object every dump must carry under
+   --require-zdd. *)
+let required_zdd_keys = [ "family"; "instances"; "wall" ]
 
 (* Validates [s] and returns (top-level object keys, keys of the
    top-level "meta" object) — both empty when the value is not an
@@ -141,10 +161,13 @@ let validate (s : string) =
   in
   let root_keys = ref [] in
   let section_keys = Hashtbl.create 4 in
+  (* Raw text of the top-level "zdd" member's value, for the
+     --require-zdd value checks. *)
+  let zdd_span = ref None in
   (* [depth] is the object-nesting depth of this value; [in_section]
      names the top-level member ("meta", "daemon") whose own keys are
      collected for the --require-* checks. *)
-  let tracked_sections = [ "meta"; "daemon"; "autopilot" ] in
+  let tracked_sections = [ "meta"; "daemon"; "autopilot"; "zdd" ] in
   let rec value ~depth ~in_section =
     skip_ws ();
     match peek () with
@@ -166,10 +189,14 @@ let validate (s : string) =
             | None -> ());
             skip_ws ();
             expect ':';
+            skip_ws ();
+            let value_start = !pos in
             value ~depth:(depth + 1)
               ~in_section:
                 (if depth = 0 && List.mem key tracked_sections then Some key
                  else None);
+            if depth = 0 && key = "zdd" then
+              zdd_span := Some (String.sub s value_start (!pos - value_start));
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -211,7 +238,103 @@ let validate (s : string) =
   let keys_of s =
     List.rev (Option.value ~default:[] (Hashtbl.find_opt section_keys s))
   in
-  (List.rev !root_keys, keys_of "meta", keys_of "daemon", keys_of "autopilot")
+  ( List.rev !root_keys,
+    keys_of "meta",
+    keys_of "daemon",
+    keys_of "autopilot",
+    keys_of "zdd",
+    !zdd_span )
+
+(* --- value checks on the "zdd" section ----------------------------- *)
+
+(* All occurrences of ["key": <token>] in [span], in order, where
+   <token> runs to the next [,}\]] — enough for the flat per-instance
+   members the zdd emitter writes (numbers, booleans, null, plain
+   strings). *)
+let tokens_after span key =
+  let marker = Printf.sprintf "\"%s\":" key in
+  let n = String.length span and m = String.length marker in
+  let rec next i acc =
+    if i + m > n then List.rev acc
+    else if String.sub span i m = marker then begin
+      let j = ref (i + m) in
+      while !j < n && (span.[!j] = ' ' || span.[!j] = '\n') do incr j done;
+      let k = ref !j in
+      while
+        !k < n && not (span.[!k] = ',' || span.[!k] = '}' || span.[!k] = ']')
+      do
+        incr k
+      done;
+      next (i + m) (String.trim (String.sub span !j (!k - !j)) :: acc)
+    end
+    else next (i + 1) acc
+  in
+  next 0 []
+
+(* The --require-zdd contract checks; returns the list of violation
+   messages (empty = pass).  Keyed to the flat shape `bench/main.exe
+   zdd` emits: one object per instance, statuses before flags. *)
+let check_zdd_values span =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let e_status = tokens_after span "explicit_status" in
+  let z_status = tokens_after span "zdd_status" in
+  let identical = tokens_after span "identical" in
+  let nodes = tokens_after span "zdd_nodes" in
+  if e_status = [] then err "\"zdd\" has no instances";
+  if
+    List.length e_status <> List.length z_status
+    || List.length e_status <> List.length identical
+    || List.length e_status <> List.length nodes
+  then err "\"zdd\" instances are missing members";
+  List.iter
+    (fun s ->
+      if s <> "\"ok\"" && s <> "\"budget\"" then
+        err "\"zdd\" instance has status %s (expected \"ok\" or \"budget\")" s)
+    (e_status @ z_status);
+  (* identity flags: never false; null only excuses a tripped side *)
+  List.iteri
+    (fun i id ->
+      let both_ok =
+        match (List.nth_opt e_status i, List.nth_opt z_status i) with
+        | Some "\"ok\"", Some "\"ok\"" -> true
+        | _ -> false
+      in
+      match id with
+      | "true" -> if not both_ok then err "instance %d: identical=true but a path tripped" i
+      | "false" -> err "instance %d: explicit and zdd outputs differ" i
+      | "null" ->
+          if both_ok then
+            err "instance %d: both paths completed but identity went unchecked" i
+      | other -> err "instance %d: bad identical flag %s" i other)
+    identical;
+  (* node counts: monotone nondecreasing across the (increasing-k)
+     instances *)
+  let node_ints =
+    List.filter_map (fun t -> int_of_string_opt t) nodes
+  in
+  if List.length node_ints <> List.length nodes then
+    err "\"zdd\" has a non-integer zdd_nodes member";
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  if not (monotone node_ints) then
+    err "\"zdd\" node counts are not monotone nondecreasing: %s"
+      (String.concat ", " (List.map string_of_int node_ints));
+  (* the wall must have moved: some instance trips the explicit path
+     and completes on the zdd path *)
+  (if List.length e_status = List.length z_status then
+     let moved =
+       List.exists2
+         (fun e z -> e = "\"budget\"" && z = "\"ok\"")
+         e_status z_status
+     in
+     if not moved then
+       err
+         "\"zdd\" records no instance that trips the explicit path but \
+          completes on the ZDD path");
+  List.rev !errs
 
 let read_file path =
   let ic = open_in_bin path in
@@ -229,24 +352,26 @@ let () =
   let require_meta = List.mem "--require-meta" args in
   let require_daemon = List.mem "--require-daemon" args in
   let require_autopilot = List.mem "--require-autopilot" args in
+  let require_zdd = List.mem "--require-zdd" args in
   let files =
     List.filter
       (fun a ->
         a <> "--require-meta" && a <> "--require-daemon"
-        && a <> "--require-autopilot")
+        && a <> "--require-autopilot" && a <> "--require-zdd")
       args
   in
   if files = [] then begin
     prerr_endline
       "usage: validate_json [--require-meta] [--require-daemon] \
-       [--require-autopilot] FILE.json ...";
+       [--require-autopilot] [--require-zdd] FILE.json ...";
     exit 2
   end;
   let failed = ref false in
   List.iter
     (fun path ->
       match validate (read_file path) with
-      | root_keys, meta_keys, daemon_keys, autopilot_keys ->
+      | root_keys, meta_keys, daemon_keys, autopilot_keys, zdd_keys, zdd_span
+        ->
           (* One required-section check, shared by meta and daemon. *)
           let file_ok = ref true in
           let check_section name keys required =
@@ -269,12 +394,24 @@ let () =
             check_section "daemon" daemon_keys required_daemon_keys;
           if require_autopilot then
             check_section "autopilot" autopilot_keys required_autopilot_keys;
+          if require_zdd then begin
+            check_section "zdd" zdd_keys required_zdd_keys;
+            match zdd_span with
+            | None -> () (* missing section already reported above *)
+            | Some span ->
+                List.iter
+                  (fun msg ->
+                    file_ok := false;
+                    Printf.eprintf "%s: %s\n" path msg)
+                  (check_zdd_values span)
+          end;
           if not !file_ok then failed := true
           else
-            Printf.printf "%s: well-formed JSON%s%s%s\n" path
+            Printf.printf "%s: well-formed JSON%s%s%s%s\n" path
               (if require_meta then " with complete meta" else "")
               (if require_daemon then " and daemon section" else "")
               (if require_autopilot then " and autopilot section" else "")
+              (if require_zdd then " and zdd section" else "")
       | exception Bad (pos, msg) ->
           failed := true;
           Printf.eprintf "%s: invalid JSON at byte %d: %s\n" path pos msg

@@ -60,6 +60,21 @@ let domains_t =
 let pool_of_domains d =
   if d >= 1 then Some (Parallel.Pool.create ~domains:d) else None
 
+let zdd_t =
+  Arg.(
+    value & flag
+    & info [ "zdd" ]
+        ~doc:
+          "Run the Rbar box search and maximal-box filter on the hash-consed \
+           ZDD family representation (lib/zdd) instead of explicit set \
+           lists.  Results are byte-identical wherever both paths complete, \
+           but the capacity envelope moves: the right-closed family is never \
+           materialized, so instances past the explicit path's budgets may \
+           finish here.  Also enabled by RELIM_ZDD=1.")
+
+(* [false] (flag absent) defers to the RELIM_ZDD environment variable. *)
+let zdd_opt flag = if flag then Some true else None
+
 let certify_t =
   Arg.(
     value & flag
@@ -120,6 +135,30 @@ let with_certify certify f =
   end
   else f ()
 
+let stats_t =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After the run, print the engine's cumulative hot-path counters \
+           (right-closed sets, boxes, dominance filter work, ZDD engine \
+           activity) on standard error.")
+
+let print_engine_stats () =
+  let s = Relim.Rounde.stats in
+  Format.eprintf
+    "engine stats:@.\
+    \  rbar: calls=%d rc_sets=%d boxes_emitted=%d boxes_pruned=%d (%.3fs)@.\
+    \  maximal: dom_checks=%d cheap_skips=%d transport_calls=%d \
+     cache_hits=%d (%.3fs)@.\
+    \  zdd: nodes=%d cache_hits=%d peak_unique=%d@."
+    s.Relim.Rounde.rbar_calls s.Relim.Rounde.rc_sets
+    s.Relim.Rounde.boxes_emitted s.Relim.Rounde.boxes_pruned
+    s.Relim.Rounde.rbar_time_s s.Relim.Rounde.box_dom_checks
+    s.Relim.Rounde.box_dom_cheap_skips s.Relim.Rounde.box_transport_calls
+    s.Relim.Rounde.transport_cache_hits s.Relim.Rounde.maxbox_time_s
+    Zdd.stats.Zdd.nodes Zdd.stats.Zdd.cache_hits Zdd.stats.Zdd.peak_unique
+
 (* ---- show ---- *)
 
 let show preset delta a x node edge diagrams =
@@ -142,15 +181,19 @@ let show_cmd =
 
 (* ---- step ---- *)
 
-let step preset delta a x node edge steps domains certify trace tfmt =
+let step preset delta a x node edge steps domains zdd stats certify trace tfmt
+    =
   with_trace trace tfmt @@ fun () ->
   let pool = pool_of_domains domains in
+  let zdd = zdd_opt zdd in
   let p = ref (preset_problem preset delta a x node edge) in
   Format.printf "%a@." Relim.Problem.pp !p;
   with_certify certify (fun () ->
       try
         for i = 1 to steps do
-          let { Relim.Rounde.problem = next; _ } = Relim.Rounde.step ?pool !p in
+          let { Relim.Rounde.problem = next; _ } =
+            Relim.Rounde.step ?pool ?zdd !p
+          in
           p := next;
           Format.printf "@.after speedup step %d (%d labels):@.%a@." i
             (Relim.Problem.label_count next)
@@ -159,7 +202,8 @@ let step preset delta a x node edge steps domains certify trace tfmt =
       with
       | Relim.Budget.Budget_exceeded { budget; limit } ->
           Format.printf "@.stopped: %s@." (Relim.Budget.message ~budget ~limit)
-      | Failure msg -> Format.printf "@.stopped: %s@." msg)
+      | Failure msg -> Format.printf "@.stopped: %s@." msg);
+  if stats then print_engine_stats ()
 
 let step_cmd =
   let steps_t =
@@ -169,7 +213,7 @@ let step_cmd =
     (Cmd.info "step" ~doc:"Apply round-elimination speedup steps (Rbar o R)")
     Term.(
       const step $ preset_t $ delta_t $ a_t $ x_t $ node_t $ edge_t $ steps_t
-      $ domains_t $ certify_t $ trace_t $ trace_format_t)
+      $ domains_t $ zdd_t $ stats_t $ certify_t $ trace_t $ trace_format_t)
 
 (* ---- zero-round ---- *)
 

@@ -205,7 +205,11 @@ let iter_right_closed ?(limit = 5_000_000) d f =
       if not (Labelset.is_empty union) then begin
         incr count;
         if !count > limit then
-          Budget.exceeded ~budget:"Diagram.right_closed_sets: right-closed sets"
+          Budget.exceeded
+            ~budget:
+              (Printf.sprintf
+                 "Diagram.right_closed_sets: right-closed sets (realized %d)"
+                 (!count - 1))
             ~limit:(float_of_int limit);
         f union
       end
@@ -226,6 +230,52 @@ let right_closed_sets ?limit d =
   (* Increasing bitset order, matching (bit-exactly) the order the old
      [nonempty_subsets]-filter implementation produced. *)
   List.sort Labelset.compare !acc
+
+(* --- ZDD-backed family representation ----------------------------- *)
+
+(* Zdd budget trips carry their realized progress; re-raise them as the
+   engine-wide typed budget error, with the realized count in the
+   message (same convention as the explicit enumerator above). *)
+let translate_zdd_limit f =
+  try f ()
+  with Zdd.Limit { what; limit; realized } ->
+    Budget.exceeded
+      ~budget:(Printf.sprintf "Diagram/%s (realized %d)" what realized)
+      ~limit
+
+(* The right-closed sets as one compressed family: start from the full
+   powerset and, for every raw relation [a ≥ l], delete the members
+   that contain [l] but not [a].  The up-sets of a relation coincide
+   with the up-sets of its transitive closure, so filtering on the raw
+   (possibly non-transitive, condensed-level) [geq] pairs is exact.
+   The empty set is removed at the end, matching the explicit
+   enumeration.  Canonicity makes the result independent of the filter
+   order. *)
+let right_closed_family ?node_limit d =
+  translate_zdd_limit @@ fun () ->
+  let n = Alphabet.size d.alpha in
+  let mgr = Zdd.create ?node_limit ~nbits:n () in
+  let fam = ref (Zdd.powerset mgr (Labelset.to_bits (Labelset.full n))) in
+  for l = 0 to n - 1 do
+    Labelset.iter
+      (fun a ->
+        fam := Zdd.diff mgr !fam (Zdd.offset mgr a (Zdd.onset mgr l !fam)))
+      (above d l)
+  done;
+  (mgr, Zdd.diff mgr !fam Zdd.top)
+
+let iter_right_closed_zdd ?limit ?node_limit d f =
+  let mgr, fam = right_closed_family ?node_limit d in
+  translate_zdd_limit @@ fun () ->
+  Zdd.iter ?limit mgr fam (fun mask -> f (Labelset.of_bits mask))
+
+(* Already in increasing bitset order — the enumeration order is the
+   numeric mask order, so no sort is needed to match
+   [right_closed_sets] byte for byte. *)
+let right_closed_sets_zdd ?limit ?node_limit d =
+  let acc = ref [] in
+  iter_right_closed_zdd ?limit ?node_limit d (fun s -> acc := s :: !acc);
+  List.rev !acc
 
 let minimal_elements d s =
   Labelset.filter

@@ -53,6 +53,31 @@ val right_closed_sets : ?limit:int -> t -> Labelset.t list
     order.  Raise from [f] (e.g. [Exit]) to stop early. *)
 val iter_right_closed : ?limit:int -> t -> (Labelset.t -> unit) -> unit
 
+(** The same family as {!right_closed_sets}, but as one hash-consed
+    ZDD instead of an explicit list: node count is typically
+    logarithmic in the member count (a [k]-antichain's [2^k - 1]
+    up-sets take [k] nodes), and cardinality, membership, restriction
+    and maximal-element extraction run on the compressed form.  The
+    returned manager owns the family; keep them together.
+    @param node_limit unique-table budget (default 2·10⁶).
+    @raise Budget.Budget_exceeded with the realized node count if the
+    construction overruns [node_limit]. *)
+val right_closed_family : ?node_limit:int -> t -> Zdd.manager * Zdd.t
+
+(** ZDD-backed variant of {!iter_right_closed}: enumerates the same
+    sets in increasing bitset order (the diagram's canonical member
+    order — no sort needed).  [limit] budgets the number of sets
+    produced, with the same trip-at-[limit+1] convention and a
+    realized count in the [Budget_exceeded] payload. *)
+val iter_right_closed_zdd :
+  ?limit:int -> ?node_limit:int -> t -> (Labelset.t -> unit) -> unit
+
+(** ZDD-backed variant of {!right_closed_sets}; byte-identical result
+    on every diagram (pinned by the equivalence suite in
+    [test/zdd]). *)
+val right_closed_sets_zdd :
+  ?limit:int -> ?node_limit:int -> t -> Labelset.t list
+
 (** Minimal (weakest) elements of a set: members with no strictly
     weaker member in the set. *)
 val minimal_elements : t -> Labelset.t -> Labelset.t

@@ -26,7 +26,50 @@ let warn_once msg =
     !warn_hook msg
   end
 
-let reset_warned () = warned := false
+(* --- RELIM_ZDD ---------------------------------------------------- *)
+
+let zdd_env_var = "RELIM_ZDD"
+
+(* Same shape as the domain-count toggle: absent means off, a
+   recognized boolean means what it says, anything else warns once and
+   falls back to off (the user asked for the compressed path and is
+   silently getting the explicit one). *)
+type zdd_parsed = Zdd_unset | Zdd_enabled of bool | Zdd_malformed of string
+
+let parse_zdd_env = function
+  | None -> Zdd_unset
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "1" | "true" | "yes" | "on" -> Zdd_enabled true
+      | "0" | "false" | "no" | "off" | "" -> Zdd_enabled false
+      | _ -> Zdd_malformed s)
+
+let zdd_warned = ref false
+
+let zdd_warn_once msg =
+  if not !zdd_warned then begin
+    zdd_warned := true;
+    !warn_hook msg
+  end
+
+let zdd_from_env () =
+  match parse_zdd_env (Sys.getenv_opt zdd_env_var) with
+  | Zdd_unset -> false
+  | Zdd_enabled b -> b
+  | Zdd_malformed s ->
+      zdd_warn_once
+        (Printf.sprintf
+           "relim: warning: %s=%S is not a boolean (1/0, true/false, yes/no, \
+            on/off); running on the explicit-list path"
+           zdd_env_var s);
+      false
+
+(* [Some b] forces; [None] defers to the environment. *)
+let resolve_zdd = function Some b -> b | None -> zdd_from_env ()
+
+let reset_warned () =
+  warned := false;
+  zdd_warned := false
 
 let domains_from_env () =
   match parse_env (Sys.getenv_opt env_var) with

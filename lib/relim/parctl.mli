@@ -33,9 +33,37 @@ val domains_from_env : unit -> int
     message on stderr.  Tests may replace it to capture the warning. *)
 val warn_hook : (string -> unit) ref
 
-(** Test-only: forget that the once-per-process warning was already
-    emitted, so the next malformed read warns again. *)
+(** Test-only: forget that the once-per-process warnings (domain count
+    and ZDD toggle alike) were already emitted, so the next malformed
+    read warns again. *)
 val reset_warned : unit -> unit
+
+(** {1 ZDD path toggle}
+
+    [Rounde]'s box search and maximal-box filter can run on the
+    hash-consed family representation from [lib/zdd] instead of
+    explicit set lists.  The result is byte-identical either way; the
+    toggle is purely a performance/capacity knob, safe to set for an
+    entire run. *)
+
+(** Name of the environment variable: ["RELIM_ZDD"]. *)
+val zdd_env_var : string
+
+type zdd_parsed = Zdd_unset | Zdd_enabled of bool | Zdd_malformed of string
+
+(** Pure classification of [Sys.getenv_opt zdd_env_var]'s result; no
+    warning side effect. *)
+val parse_zdd_env : string option -> zdd_parsed
+
+(** Whether the environment enables the ZDD path (off when unset).  A
+    malformed value warns once through {!warn_hook} and reads as
+    off. *)
+val zdd_from_env : unit -> bool
+
+(** [resolve_zdd zdd] is [b] for [Some b], otherwise
+    {!zdd_from_env}[ ()] — the resolution every [?zdd] optional
+    argument in [Rounde] goes through. *)
+val resolve_zdd : bool option -> bool
 
 (** The process-wide default pool.  Created lazily from
     {!domains_from_env} on first use. *)

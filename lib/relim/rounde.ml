@@ -168,6 +168,11 @@ let sample_rbar_counters () =
       ("rounde.box_dom_cheap_skips", stats.box_dom_cheap_skips);
       ("rounde.box_transport_calls", stats.box_transport_calls);
       ("rounde.transport_cache_hits", stats.transport_cache_hits);
+      (* Cumulative across all managers (and hence monotone between
+         resets), whether or not the ZDD path ran this call. *)
+      ("zdd.nodes", Zdd.stats.Zdd.nodes);
+      ("zdd.cache_hits", Zdd.stats.Zdd.cache_hits);
+      ("zdd.peak_unique", Zdd.stats.Zdd.peak_unique);
     ]
 
 let r_impl (p : Problem.t) =
@@ -398,10 +403,148 @@ let valid_boxes_impl ?pool (p : Problem.t) ~expand_limit ~rc_limit =
     Array.fold_left (fun acc l -> l @ acc) [] branch_boxes
   end
 
-let valid_boxes ?pool (p : Problem.t) ~expand_limit ~rc_limit =
+(* Zdd budget trips (unique-table overrun) re-raised as the engine's
+   typed budget error, keeping the realized node count. *)
+let translate_zdd_limit f =
+  try f ()
+  with Zdd.Limit { what; limit; realized } ->
+    Budget.exceeded
+      ~budget:(Printf.sprintf "Rounde.rbar/%s (realized %d)" what realized)
+      ~limit
+
+(* ZDD-backed box search.  Instead of materializing the right-closed
+   sets as a sorted array ([rc_limit]-guarded) and testing every
+   (prefix, candidate) pair against the sub-multiset table, keep the
+   family compressed and *restrict* it per prefix: with [partials] the
+   distinct minimal-choice multisets of the prefix, a candidate [B]
+   survives the explicit DFS's [all_ok] test iff
+
+       B ⊆ allowed(partials) := { x | ∀ P ∈ partials: P + x ∈ subs }.
+
+   ("⟸": minimals of B are members of B.  "⟹": on an exact diagram
+   [geq] is the true strength preorder, so (i) every member of B is
+   ≥ some minimal of B, and (ii) allowed is up-closed — P + x ∈ subs
+   means P + x fits inside an allowed configuration, and substituting
+   a stronger label keeps it allowed.)  So the per-candidate test
+   disappears into one ZDD restriction per prefix, shared across
+   prefixes by the operation cache, and candidates stream out of
+   [Zdd.iter_ge] in exactly the non-decreasing order the explicit DFS
+   scanned its array — emissions are byte-identical.  Only exactness
+   of the diagram is used; inexact (condensed-approximation) diagrams
+   return [None] and the caller falls back to the explicit path.
+
+   There is no [rc_limit] here — nothing is materialized.  Runaway
+   instances are stopped by the manager's node budget and by the same
+   cumulative work budget as the explicit DFS (charged per prefix and
+   per streamed candidate), under a distinct budget name since the
+   work accounting necessarily differs.  [boxes_pruned] stays 0 on
+   this path: pruned candidates are never even enumerated. *)
+let valid_boxes_zdd_impl (p : Problem.t) ~expand_limit =
+  let delta = Problem.delta p in
+  if Constr.expansion_estimate p.node > expand_limit then
+    Budget.exceeded ~budget:"Rounde.rbar: node constraint expansion"
+      ~limit:expand_limit;
+  let diagram = Diagram.node_diagram p in
+  if not (Diagram.is_exact diagram) then None
+  else begin
+    let n = Alphabet.size p.alpha in
+    let mgr, fam = Diagram.right_closed_family diagram in
+    translate_zdd_limit @@ fun () ->
+    stats.rc_sets <- stats.rc_sets + Zdd.count mgr fam;
+    let configs = Constr.expand ~limit:expand_limit p.node in
+    let subs = MsTbl.create 65536 in
+    List.iter
+      (fun m -> Multiset.sub_multisets m (fun sub -> MsTbl.replace subs sub ()))
+      configs;
+    if delta = 0 then begin
+      stats.boxes_emitted <- stats.boxes_emitted + 1;
+      Some [ [] ]
+    end
+    else begin
+      let work = ref 0 in
+      let charge amount =
+        work := !work + amount;
+        if !work > box_work_limit then
+          Budget.exceeded ~budget:"Rounde.rbar: box enumeration work (zdd)"
+            ~limit:(float_of_int box_work_limit)
+      in
+      (* allowed(partials) = ∩ rows; a row depends only on its partial
+         multiset, and the same partials recur across sibling branches,
+         so rows are memoized globally. *)
+      let row_memo = MsTbl.create 1024 in
+      let row partial =
+        match MsTbl.find_opt row_memo partial with
+        | Some r -> r
+        | None ->
+            let r = ref Labelset.empty in
+            for x = 0 to n - 1 do
+              if MsTbl.mem subs (Multiset.add x partial) then
+                r := Labelset.add x !r
+            done;
+            MsTbl.add row_memo partial !r;
+            !r
+      in
+      let minimals_memo = Hashtbl.create 4096 in
+      let minimals mask =
+        match Hashtbl.find_opt minimals_memo mask with
+        | Some m -> m
+        | None ->
+            let m = Diagram.minimal_elements diagram (Labelset.of_bits mask) in
+            Hashtbl.add minimals_memo mask m;
+            m
+      in
+      let boxes = ref [] in
+      let emitted = ref 0 in
+      let rec go depth from_mask box partials =
+        if depth = delta then begin
+          incr emitted;
+          boxes := List.rev_map Labelset.of_bits box :: !boxes
+        end
+        else begin
+          charge (1 + List.length partials);
+          let allowed =
+            List.fold_left
+              (fun acc partial -> Labelset.inter acc (row partial))
+              (Labelset.full n) partials
+          in
+          let cands = Zdd.subsets_within mgr fam (Labelset.to_bits allowed) in
+          Zdd.iter_ge mgr cands ~from:from_mask (fun bmask ->
+              charge (1 + List.length partials);
+              if depth + 1 = delta then go (depth + 1) bmask (bmask :: box) partials
+              else begin
+                let mins = minimals bmask in
+                let extended = MsTbl.create 64 in
+                List.iter
+                  (fun partial ->
+                    Labelset.iter
+                      (fun mn ->
+                        MsTbl.replace extended (Multiset.add mn partial) ())
+                      mins)
+                  partials;
+                let partials' = MsTbl.fold (fun k () acc -> k :: acc) extended [] in
+                go (depth + 1) bmask (bmask :: box) partials'
+              end)
+        end
+      in
+      go 0 0 [] [ Multiset.of_list [] ];
+      stats.boxes_emitted <- stats.boxes_emitted + !emitted;
+      (* Prepend order = last emission first: exactly the order the
+         explicit path returns (sequentially and after its branch
+         merge alike). *)
+      Some !boxes
+    end
+  end
+
+let valid_boxes ?pool ?zdd (p : Problem.t) ~expand_limit ~rc_limit =
   Trace.with_span "rounde.valid_boxes"
     ~attrs:[ ("problem", p.name) ]
-    (fun () -> valid_boxes_impl ?pool p ~expand_limit ~rc_limit)
+    (fun () ->
+      let explicit () = valid_boxes_impl ?pool p ~expand_limit ~rc_limit in
+      if Parctl.resolve_zdd zdd then
+        match valid_boxes_zdd_impl p ~expand_limit with
+        | Some boxes -> boxes
+        | None -> explicit ()
+      else explicit ())
 
 (* Precomputed dominance keys.  If [box_leq b b'] (every set of [b]
    matched injectively into a superset in [b']) then necessarily:
@@ -492,11 +635,51 @@ let transport_verdict local bi bj =
         v
   end
 
-let maximal_boxes_impl ?pool boxes =
+(* ZDD pre-screen for the dominance filter: build the family of box
+   supports, extract its maximal members, and count support
+   multiplicities.  A box whose support is a maximal member occurring
+   exactly once is provably undominated — a dominator [b'] would need
+   support(b) ⊆ support(b'), so by maximality support(b') = support(b),
+   contradicting uniqueness — and skips the dominator scan entirely.
+   Output-preserving by construction; only the scan counters shrink.
+   A unique-table overrun just disables the screen. *)
+let zdd_prescreen keyed =
+  let m = Array.length keyed in
+  let maxmask =
+    Array.fold_left (fun acc k -> acc lor Labelset.to_bits k.support) 0 keyed
+  in
+  let nbits =
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    bits maxmask 0
+  in
+  try
+    let mgr = Zdd.create ~nbits () in
+    let counts = Hashtbl.create (2 * m) in
+    let fam = ref Zdd.bot in
+    Array.iter
+      (fun k ->
+        let s = Labelset.to_bits k.support in
+        Hashtbl.replace counts s
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts s));
+        fam := Zdd.union mgr !fam (Zdd.of_mask mgr s))
+      keyed;
+    let maxf = Zdd.maximal mgr !fam in
+    Array.map
+      (fun k ->
+        let s = Labelset.to_bits k.support in
+        Hashtbl.find counts s = 1 && Zdd.mem mgr maxf s)
+      keyed
+  with Zdd.Limit _ -> Array.make m false
+
+let maximal_boxes_impl ?pool ~use_zdd boxes =
   let pool = Parctl.resolve pool in
   let t0 = now () in
   let keyed = Array.of_list (List.map box_key boxes) in
   let m = Array.length keyed in
+  let undominated =
+    if use_zdd && m > 0 then zdd_prescreen keyed
+    else Array.make (max 1 m) false
+  in
   (* Candidate dominators, in non-increasing total cardinality. *)
   let order = Array.init m Fun.id in
   Array.sort (fun i j -> compare keyed.(j).total keyed.(i).total) order;
@@ -535,7 +718,8 @@ let maximal_boxes_impl ?pool boxes =
     ~init:(fun () ->
       { checks = 0; cheap_skips = 0; transport_calls = 0; cache_hits = 0;
         memo = Hashtbl.create 256 })
-    ~body:(fun local i -> flags.(i) <- dominated local i)
+    ~body:(fun local i ->
+      flags.(i) <- (not undominated.(i)) && dominated local i)
     ~merge:(fun l ->
       stats.box_dom_checks <- stats.box_dom_checks + l.checks;
       stats.box_dom_cheap_skips <- stats.box_dom_cheap_skips + l.cheap_skips;
@@ -545,19 +729,25 @@ let maximal_boxes_impl ?pool boxes =
   stats.maxbox_time_s <- stats.maxbox_time_s +. (now () -. t0);
   result
 
-let maximal_boxes ?pool boxes =
+let maximal_boxes ?pool ?zdd boxes =
   Trace.with_span "rounde.maximal_boxes"
     ~attrs:[ ("boxes", string_of_int (List.length boxes)) ]
-    (fun () -> maximal_boxes_impl ?pool boxes)
+    (fun () ->
+      maximal_boxes_impl ?pool ~use_zdd:(Parctl.resolve_zdd zdd) boxes)
 
-let rbar_impl ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool (p : Problem.t) =
+let rbar_impl ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool ?zdd
+    (p : Problem.t) =
   let t0 = now () in
   stats.rbar_calls <- stats.rbar_calls + 1;
   (* No label cap: the order-ideal enumeration behind
      [Diagram.right_closed_sets] is output-sensitive, and runaway
      instances are stopped by [rc_limit], [expand_limit] and the DFS
-     work budget instead — all of which fail as fast as the old cap. *)
-  let boxes = maximal_boxes ?pool (valid_boxes ?pool p ~expand_limit ~rc_limit) in
+     work budget instead — all of which fail as fast as the old cap.
+     With the ZDD path on, [rc_limit] does not apply at all (nothing is
+     materialized); the manager's node budget takes its place. *)
+  let boxes =
+    maximal_boxes ?pool ?zdd (valid_boxes ?pool ?zdd p ~expand_limit ~rc_limit)
+  in
   if boxes = [] then failwith "Rounde.rbar: empty node constraint";
   (* New alphabet: the distinct sets used in maximal boxes. *)
   let module SS = Set.Make (struct
@@ -619,20 +809,22 @@ let rbar_impl ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool (p : Problem.t) 
   notify `Rbar p result;
   result
 
-let rbar ?expand_limit ?rc_limit ?pool (p : Problem.t) =
+let rbar ?expand_limit ?rc_limit ?pool ?zdd (p : Problem.t) =
   Trace.with_span "rounde.rbar"
     ~attrs:[ ("problem", p.name) ]
     (fun () ->
-      let result = rbar_impl ?expand_limit ?rc_limit ?pool p in
+      let result = rbar_impl ?expand_limit ?rc_limit ?pool ?zdd p in
       sample_rbar_counters ();
       result)
 
-let step ?expand_limit ?rc_limit ?pool p =
+let step ?expand_limit ?rc_limit ?pool ?zdd p =
   Trace.with_span "rounde.step"
     ~attrs:[ ("problem", p.Problem.name) ]
   @@ fun () ->
   let { problem = p'; _ } = r p in
-  let { problem = p''; denotations } = rbar ?expand_limit ?rc_limit ?pool p' in
+  let { problem = p''; denotations } =
+    rbar ?expand_limit ?rc_limit ?pool ?zdd p'
+  in
   (* No trim needed: every label of [rbar]'s output occurs in its node
      constraint by construction, so trimming would be a no-op and would
      desynchronize [denotations]. *)

@@ -112,14 +112,31 @@ val r : Problem.t -> denoted
     count; the work budget is shared across branches through an atomic
     counter, so whether it trips is a property of the instance, not of
     the schedule.
+    @param zdd run the box search and the maximal-box filter on the
+    hash-consed family representation from [lib/zdd] (defaults to
+    {!Parctl.zdd_from_env}).  On every instance both paths can handle,
+    the result is byte-identical to the explicit path — problems,
+    denotations, box order and [boxes_emitted]/[rc_sets] counters alike
+    (pinned by the equivalence suite in [test/zdd]) — but the capacity
+    envelope moves: [rc_limit] no longer applies (the right-closed
+    family is never materialized; the ZDD node budget takes its place),
+    and the box search charges its own work against the shared budget
+    under the distinct name ["... box enumeration work (zdd)"], so
+    instances that trip a budget on one path may complete — or trip a
+    differently-named budget — on the other.  [boxes_pruned] stays 0
+    and the [box_dom_*] counters shrink on this path (pruned candidates
+    are never enumerated; pre-screened boxes skip the dominator scan).
+    The search runs in the calling domain ([?pool] still drives the
+    dominance filter); problems whose node diagram is inexact fall back
+    to the explicit path automatically.
     @raise Budget.Budget_exceeded if any budget is exceeded. *)
 val rbar :
   ?expand_limit:float -> ?rc_limit:int -> ?pool:Parallel.Pool.t ->
-  Problem.t -> denoted
+  ?zdd:bool -> Problem.t -> denoted
 
 (** [step p] is [rbar (r p)], trimmed, with a composed name.  The
     denotations relate labels of the result to labels of [r p].
-    [?pool] is passed through to {!rbar}. *)
+    [?pool] and [?zdd] are passed through to {!rbar}. *)
 val step :
   ?expand_limit:float -> ?rc_limit:int -> ?pool:Parallel.Pool.t ->
-  Problem.t -> denoted
+  ?zdd:bool -> Problem.t -> denoted

@@ -332,6 +332,13 @@ let stats_fields st =
           ("misses", Json.Int Fixedpoint.stats.Fixedpoint.cache_misses);
           ("hash_conflicts", Json.Int Fixedpoint.stats.Fixedpoint.hash_conflicts);
         ] );
+    ( "zdd",
+      Json.Obj
+        [
+          ("nodes", Json.Int Zdd.stats.Zdd.nodes);
+          ("cache_hits", Json.Int Zdd.stats.Zdd.cache_hits);
+          ("peak_unique", Json.Int Zdd.stats.Zdd.peak_unique);
+        ] );
   ]
   @ store_fields
 

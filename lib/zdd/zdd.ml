@@ -1,0 +1,370 @@
+(* Hash-consed ZDDs over int bitmasks.  See zdd.mli for the contract.
+
+   Encoding: variable [v] of a manager with [nbits] bits decides bit
+   [nbits - 1 - v], so the root decides the most significant bit and
+   lo-before-hi traversal enumerates masks in increasing numeric
+   order.  Terminals carry [var = max_int] so the usual "smaller var
+   decides first" comparisons need no special cases. *)
+
+type t = { id : int; var : int; lo : t; hi : t }
+
+let rec bot = { id = 0; var = max_int; lo = bot; hi = bot }
+
+let rec top = { id = 1; var = max_int; lo = top; hi = top }
+
+let equal = ( == )
+
+exception Limit of { what : string; limit : float; realized : int }
+
+type stats = {
+  mutable nodes : int;
+  mutable cache_hits : int;
+  mutable cache_lookups : int;
+  mutable peak_unique : int;
+}
+
+let stats = { nodes = 0; cache_hits = 0; cache_lookups = 0; peak_unique = 0 }
+
+let reset_stats () =
+  stats.nodes <- 0;
+  stats.cache_hits <- 0;
+  stats.cache_lookups <- 0;
+  stats.peak_unique <- 0
+
+type manager = {
+  nbits : int;
+  node_limit : int;
+  unique : (int * int * int, t) Hashtbl.t;
+  cache : (int * int * int, t) Hashtbl.t;
+  counts : (int, int) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create ?(node_limit = 2_000_000) ~nbits () =
+  if nbits < 0 || nbits > 62 then invalid_arg "Zdd.create: nbits out of range";
+  {
+    nbits;
+    node_limit;
+    unique = Hashtbl.create 4096;
+    cache = Hashtbl.create 4096;
+    counts = Hashtbl.create 256;
+    next_id = 2;
+  }
+
+let nbits m = m.nbits
+
+let bit_of m v = 1 lsl (m.nbits - 1 - v)
+
+let var_of_label m l =
+  if l < 0 || l >= m.nbits then invalid_arg "Zdd: label out of range";
+  m.nbits - 1 - l
+
+(* The zero-suppression rule [hi = bot ⇒ node ≡ lo] plus hash-consing
+   keep every family canonical: any two structurally equal diagrams of
+   one manager are physically equal. *)
+let mk m var lo hi =
+  if hi == bot then lo
+  else begin
+    let key = (var, lo.id, hi.id) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        let live = Hashtbl.length m.unique in
+        if live >= m.node_limit then
+          raise
+            (Limit
+               {
+                 what = "Zdd: unique-table nodes";
+                 limit = float_of_int m.node_limit;
+                 realized = live;
+               });
+        let n = { id = m.next_id; var; lo; hi } in
+        m.next_id <- m.next_id + 1;
+        Hashtbl.add m.unique key n;
+        stats.nodes <- stats.nodes + 1;
+        if live + 1 > stats.peak_unique then stats.peak_unique <- live + 1;
+        n
+  end
+
+(* Operation cache: one shared (opcode, x, y) table per manager.
+   Commutative ops normalize the id order to double the hit rate; the
+   unary label ops key on (opcode, label, id). *)
+let op_union = 0
+
+let op_inter = 1
+
+let op_diff = 2
+
+let op_join = 3
+
+let op_meet = 4
+
+let op_maximal = 5
+
+let op_subof = 6
+
+let op_within = 7
+
+let op_onset = 8
+
+let op_offset = 9
+
+let cached m op x y compute =
+  let key = (op, x, y) in
+  stats.cache_lookups <- stats.cache_lookups + 1;
+  match Hashtbl.find_opt m.cache key with
+  | Some r ->
+      stats.cache_hits <- stats.cache_hits + 1;
+      r
+  | None ->
+      let r = compute () in
+      Hashtbl.add m.cache key r;
+      r
+
+let rec union m a b =
+  if a == b || b == bot then a
+  else if a == bot then b
+  else
+    let x, y = if a.id <= b.id then (a, b) else (b, a) in
+    cached m op_union x.id y.id @@ fun () ->
+    if a.var < b.var then mk m a.var (union m a.lo b) a.hi
+    else if b.var < a.var then mk m b.var (union m b.lo a) b.hi
+    else mk m a.var (union m a.lo b.lo) (union m a.hi b.hi)
+
+let rec inter m a b =
+  if a == b then a
+  else if a == bot || b == bot then bot
+  else
+    let x, y = if a.id <= b.id then (a, b) else (b, a) in
+    cached m op_inter x.id y.id @@ fun () ->
+    if a.var < b.var then inter m a.lo b
+    else if b.var < a.var then inter m a b.lo
+    else mk m a.var (inter m a.lo b.lo) (inter m a.hi b.hi)
+
+let rec diff m a b =
+  if a == b || a == bot then bot
+  else if b == bot then a
+  else
+    cached m op_diff a.id b.id @@ fun () ->
+    if a.var < b.var then mk m a.var (diff m a.lo b) a.hi
+    else if b.var < a.var then diff m a b.lo
+    else mk m a.var (diff m a.lo b.lo) (diff m a.hi b.hi)
+
+let rec join m a b =
+  if a == bot || b == bot then bot
+  else if a == top then b
+  else if b == top then a
+  else
+    let x, y = if a.id <= b.id then (a, b) else (b, a) in
+    cached m op_join x.id y.id @@ fun () ->
+    if a.var < b.var then mk m a.var (join m a.lo b) (join m a.hi b)
+    else if b.var < a.var then mk m b.var (join m b.lo a) (join m b.hi a)
+    else
+      mk m a.var
+        (join m a.lo b.lo)
+        (union m
+           (join m a.hi b.hi)
+           (union m (join m a.hi b.lo) (join m a.lo b.hi)))
+
+let rec meet m a b =
+  if a == bot || b == bot then bot
+  else if a == top || b == top then top
+  else
+    let x, y = if a.id <= b.id then (a, b) else (b, a) in
+    cached m op_meet x.id y.id @@ fun () ->
+    if a.var < b.var then union m (meet m a.lo b) (meet m a.hi b)
+    else if b.var < a.var then union m (meet m b.lo a) (meet m b.hi a)
+    else
+      mk m a.var
+        (union m
+           (meet m a.lo b.lo)
+           (union m (meet m a.hi b.lo) (meet m a.lo b.hi)))
+        (meet m a.hi b.hi)
+
+let onset m l f =
+  let v = var_of_label m l in
+  let rec go f =
+    if f.var > v then bot (* v absent from every member below (terminals included) *)
+    else if f.var = v then mk m v bot f.hi
+    else cached m op_onset l f.id (fun () -> mk m f.var (go f.lo) (go f.hi))
+  in
+  go f
+
+let offset m l f =
+  let v = var_of_label m l in
+  let rec go f =
+    if f.var > v then f
+    else if f.var = v then f.lo
+    else cached m op_offset l f.id (fun () -> mk m f.var (go f.lo) (go f.hi))
+  in
+  go f
+
+let check_mask m what s =
+  if s land lnot ((1 lsl m.nbits) - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Zdd.%s: mask out of range" what)
+
+let of_mask m s =
+  check_mask m "of_mask" s;
+  (* The deepest node decides the lowest set bit: build upward. *)
+  let rec up bit acc =
+    if bit >= m.nbits then acc
+    else
+      up (bit + 1)
+        (if s land (1 lsl bit) <> 0 then mk m (m.nbits - 1 - bit) bot acc
+         else acc)
+  in
+  up 0 top
+
+let powerset m s =
+  check_mask m "powerset" s;
+  let rec up bit acc =
+    if bit >= m.nbits then acc
+    else
+      up (bit + 1)
+        (if s land (1 lsl bit) <> 0 then mk m (m.nbits - 1 - bit) acc acc
+         else acc)
+  in
+  up 0 top
+
+let rec subsets_within m f s =
+  if f == bot || f == top then f
+  else
+    cached m op_within f.id s @@ fun () ->
+    if s land bit_of m f.var <> 0 then
+      mk m f.var (subsets_within m f.lo s) (subsets_within m f.hi s)
+    else subsets_within m f.lo s
+
+let rec mem_empty f =
+  if f == top then true else if f == bot then false else mem_empty f.lo
+
+(* subsets-of-any: { x ∈ a | ∃ y ∈ b: x ⊆ y }. *)
+let rec subof m a b =
+  if a == bot || b == bot then bot
+  else if a == top then top (* b ≠ bot: ∅ is a subset of any member *)
+  else if b == top then if mem_empty a then top else bot
+  else
+    cached m op_subof a.id b.id @@ fun () ->
+    if a.var < b.var then subof m a.lo b
+    else if b.var < a.var then subof m a (union m b.lo b.hi)
+    else mk m a.var (subof m a.lo (union m b.lo b.hi)) (subof m a.hi b.hi)
+
+let rec maximal m f =
+  if f == bot || f == top then f
+  else
+    cached m op_maximal f.id 0 @@ fun () ->
+    let hi' = maximal m f.hi in
+    let lo' = maximal m f.lo in
+    (* A member without [f.var] is non-maximal iff it is ⊆ some member
+       of the hi cofactor (that member regains [f.var], making the
+       containment strict). *)
+    mk m f.var (diff m lo' (subof m lo' f.hi)) hi'
+
+let mem m f s =
+  check_mask m "mem" s;
+  let rec go f s =
+    if s = 0 then mem_empty f
+    else if f == top || f == bot then false
+    else
+      let b = m.nbits - 1 - f.var in
+      (* Bits above this node's own bit can no longer be set. *)
+      if s lsr (b + 1) <> 0 then false
+      else if s land (1 lsl b) <> 0 then go f.hi (s land lnot (1 lsl b))
+      else go f.lo s
+  in
+  go f s
+
+let count m f =
+  let rec go f =
+    if f == bot then 0
+    else if f == top then 1
+    else
+      match Hashtbl.find_opt m.counts f.id with
+      | Some c -> c
+      | None ->
+          let c = go f.lo + go f.hi in
+          Hashtbl.add m.counts f.id c;
+          c
+  in
+  go f
+
+let node_count _m f =
+  let seen = Hashtbl.create 256 in
+  let rec go f =
+    if f == bot || f == top then ()
+    else if not (Hashtbl.mem seen f.id) then begin
+      Hashtbl.add seen f.id ();
+      go f.lo;
+      go f.hi
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let iter ?limit m f k =
+  let emitted = ref 0 in
+  let emit mask =
+    (match limit with
+    | Some l when !emitted >= l ->
+        raise
+          (Limit
+             {
+               what = "Zdd.iter: enumerated sets";
+               limit = float_of_int l;
+               realized = !emitted;
+             })
+    | _ -> ());
+    incr emitted;
+    k mask
+  in
+  let rec go f mask =
+    if f == bot then ()
+    else if f == top then emit mask
+    else begin
+      go f.lo mask;
+      go f.hi (mask lor bit_of m f.var)
+    end
+  in
+  go f 0
+
+let iter_ge m f ~from k =
+  check_mask m "iter_ge" from;
+  let rec all f mask =
+    if f == bot then ()
+    else if f == top then k mask
+    else begin
+      all f.lo mask;
+      all f.hi (mask lor bit_of m f.var)
+    end
+  in
+  (* [ge] maintains: the mask built so far equals [from] on every bit
+     already decided.  Variables skipped between the parent and this
+     node contribute 0 bits; if [from] has a 1 anywhere in that span,
+     every member below is numerically smaller and the subtree dies. *)
+  let rec ge f mask next_var =
+    if f == bot then ()
+    else begin
+      let upper = if f == top then m.nbits else f.var in
+      let skipped =
+        if upper <= next_var then 0
+        else
+          let below_next = (1 lsl (m.nbits - next_var)) - 1 in
+          let below_upper = (1 lsl (m.nbits - upper)) - 1 in
+          from land (below_next - below_upper)
+      in
+      if skipped <> 0 then ()
+      else if f == top then k mask (* the member equals [from]: inclusive *)
+      else
+        let b = bit_of m f.var in
+        if from land b <> 0 then ge f.hi (mask lor b) (f.var + 1)
+        else begin
+          ge f.lo mask (f.var + 1);
+          all f.hi (mask lor b)
+        end
+    end
+  in
+  if from = 0 then all f 0 else ge f 0 0
+
+let elements ?limit m f =
+  let acc = ref [] in
+  iter ?limit m f (fun mask -> acc := mask :: !acc);
+  List.rev !acc

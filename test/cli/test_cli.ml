@@ -92,6 +92,46 @@ let test_bad_trace_format_rejected () =
   let code, _, _ = run "step -p mis -d 3 --trace /tmp/x --trace-format xml" in
   Alcotest.(check bool) "cmdliner usage error" true (code <> 0)
 
+(* --zdd routes the box search through lib/zdd; the printed problems
+   must not change by a byte, and --stats must show the engine was
+   really on the compressed path (and really off it by default). *)
+let test_zdd_flag_byte_identity () =
+  (* RELIM_ZDD=0 pins the baseline to the explicit path even when the
+     suite itself runs under RELIM_ZDD=1. *)
+  let code0, explicit, _ =
+    run ~env:[ ("RELIM_ZDD", "0") ] "step -p mis -d 3 -s 2 --stats"
+  in
+  let code1, zdd, stderr = run "step -p mis -d 3 -s 2 --zdd --stats" in
+  Alcotest.(check int) "explicit exit 0" 0 code0;
+  Alcotest.(check int) "zdd exit 0" 0 code1;
+  Alcotest.(check string) "stdout byte-identical" explicit zdd;
+  Alcotest.(check bool) "zdd engine exercised" true
+    (contains ~sub:"zdd: nodes=" stderr
+    && not (contains ~sub:"zdd: nodes=0 " stderr))
+
+let test_stats_explicit_zero_zdd () =
+  let code, _, stderr =
+    run ~env:[ ("RELIM_ZDD", "0") ] "step -p mis -d 3 --stats"
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "stats printed" true
+    (contains ~sub:"engine stats:" stderr);
+  Alcotest.(check bool) "zdd engine idle on the explicit path" true
+    (contains ~sub:"zdd: nodes=0 " stderr)
+
+let test_zdd_trace_counters () =
+  let path = Filename.temp_file "cli_trace" ".jsonl" in
+  let code, _, _ =
+    run (Printf.sprintf "step -p mis -d 3 --zdd --trace %s" (Filename.quote path))
+  in
+  Alcotest.(check int) "exit code 0" 0 code;
+  let trace = read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "zdd counters sampled" true
+    (contains ~sub:"\"zdd.nodes\"" trace
+    && contains ~sub:"\"zdd.cache_hits\"" trace
+    && contains ~sub:"\"zdd.peak_unique\"" trace)
+
 let () =
   Alcotest.run "cli"
     [
@@ -107,5 +147,14 @@ let () =
             test_trace_chrome_written;
           Alcotest.test_case "bad --trace-format rejected" `Quick
             test_bad_trace_format_rejected;
+        ] );
+      ( "zdd-flag",
+        [
+          Alcotest.test_case "--zdd keeps stdout byte-identical" `Quick
+            test_zdd_flag_byte_identity;
+          Alcotest.test_case "--stats reports an idle zdd engine" `Quick
+            test_stats_explicit_zero_zdd;
+          Alcotest.test_case "zdd.* trace counters recorded" `Quick
+            test_zdd_trace_counters;
         ] );
     ]

@@ -106,6 +106,37 @@ let test_golden_transcript () =
     {|{"id":99,"ok":true,"result":{"pong":true}}|}
     (request c {|{"id":99,"op":"ping"}|})
 
+(* The stats payload is a wire contract too: pin its exact JSON shape,
+   including the engine-wide ZDD counters sampled from [Zdd.stats].
+   All global counters are reset before the daemon spawns, so the
+   bytes are deterministic regardless of suite order. *)
+let test_stats_transcript () =
+  Relim.Fixedpoint.reset_stats ();
+  Zdd.reset_stats ();
+  with_daemon @@ fun sock ->
+  let c = connect sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  check_string "stats shape, pinned bytes"
+    ({|{"id":1,"ok":true,"result":{"requests":1,"served_ok":0,|}
+   ^ {|"served_error":0,"fixedpoint_cache":{"hits":0,"misses":0,|}
+   ^ {|"hash_conflicts":0},"zdd":{"nodes":0,"cache_hits":0,|}
+   ^ {|"peak_unique":0},"store":null}}|})
+    (request c {|{"id":1,"op":"stats"}|});
+  (* A ZDD-path engine call moves the zdd counters; the explicit path
+     (the daemon's default when RELIM_ZDD is unset) must not.  Under
+     RELIM_ZDD=1 the whole suite runs on the compressed path, so only
+     the shape — not the zero values — can be pinned then. *)
+  let mis = {|{"id":2,"op":"step","problem":"problem MIS\ndelta 3\nnode:\nM^3\nP O^2\nedge:\nO^2\nM [PO]\n"}|} in
+  let _ = request c mis in
+  let stats = request c {|{"id":3,"op":"stats"}|} in
+  if Relim.Parctl.zdd_from_env () then
+    check_bool "zdd step moves the zdd counters" true
+      (contains ~sub:{|"zdd":{"nodes":|} stats
+      && not (contains ~sub:{|"zdd":{"nodes":0,|} stats))
+  else
+    check_bool "explicit step leaves zdd counters at zero" true
+      (contains ~sub:{|"zdd":{"nodes":0,"cache_hits":0,"peak_unique":0}|} stats)
+
 (* Regression: a budget overrun inside the engine used to surface as a
    generic engine-error Failure; it is now a structured "budget" error
    echoing the tripped budget's name and configured limit.  The
@@ -407,6 +438,7 @@ let () =
       ( "wire",
         [
           Alcotest.test_case "golden transcript" `Quick test_golden_transcript;
+          Alcotest.test_case "stats transcript" `Quick test_stats_transcript;
           Alcotest.test_case "budget error transcript" `Quick
             test_budget_error_transcript;
           Alcotest.test_case "pipelining order" `Quick test_pipelining;

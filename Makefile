@@ -1,5 +1,5 @@
 .PHONY: all build test check bench bench-smoke fuzz-smoke examples-smoke \
-	trace-smoke daemond-smoke autopilot-smoke zdd-smoke clean
+	trace-smoke daemond-smoke autopilot-smoke zdd-smoke sweep-smoke clean
 
 all: build
 
@@ -86,6 +86,22 @@ zdd-smoke:
 	dune exec test/zdd/test_zdd.exe
 	dune exec bin/roundelim.exe -- step -p mis -d 3 -s 2 --zdd --stats > /dev/null
 	RELIM_ZDD=1 dune exec bin/roundelim.exe -- step -p mis -d 3 -s 2 > /dev/null
+
+# Sweep-harness smoke: a fixed-clock reference sweep over a small grid
+# crossing both engines and the certifier, then every recovery path —
+# deterministic interruption, a real kill -9, and a torn trailing
+# record — each resumed to a byte-identical journal; finally a
+# real-clock sweep analyzed into the "sweep" section of a bench file
+# and gated by validate_json --require-sweep.  The journal is kept as
+# sweep_smoke.jsonl for the CI artifact upload.
+sweep-smoke:
+	dune build bin scripts bench
+	sh scripts/sweep_smoke.sh
+	dune exec bin/relimsweep.exe -- --out sweep_smoke.jsonl -q \
+	  --families mis,so,col --deltas 2 --label-counts 2 \
+	  --engine-zdd both --certify both --ap-steps 1 --ap-beam 2
+	dune exec scripts/analyze_sweep.exe -- sweep_smoke.jsonl --bench BENCH_relim.json > /dev/null
+	dune exec bench/validate_json.exe -- --require-sweep BENCH_relim.json
 
 # Compile and run the examples (they also run under `dune runtest`; this
 # target gives CI an explicit, separately-reported leg).

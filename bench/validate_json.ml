@@ -36,7 +36,21 @@
       instances (they are listed in increasing k);}
    {- at least one instance trips a budget on the explicit path while
       the ZDD path completes — the recorded proof that the wall
-      actually moved.}} *)
+      actually moved.}}
+
+   With --require-sweep, each file must carry a "sweep" object — the
+   section scripts/analyze_sweep.exe merges from a relimsweep journal —
+   value-checked against the sweep contract, keyed to that emitter's
+   shape: the journal covered its whole grid ("complete": true, status
+   tallies summing to the grid's expected_cells, one per-cell row
+   each), every per-cell status is "ok", "budget" or "skipped", and no
+   cell is both ok and budget-skipped (an "ok" row carries a null
+   budget; a "budget" row names the tripped budget).
+
+   Sections other than the tracked ones ("meta", "daemon", "autopilot",
+   "zdd", "sweep") pass through unvalidated by design — emitters may
+   add new sections without breaking older validators — and that
+   passthrough is pinned by the validator tests in test/sweep. *)
 
 exception Bad of int * string
 
@@ -67,9 +81,17 @@ let required_autopilot_keys =
    --require-zdd. *)
 let required_zdd_keys = [ "family"; "instances"; "wall" ]
 
-(* Validates [s] and returns (top-level object keys, keys of the
-   top-level "meta" object) — both empty when the value is not an
-   object / has no "meta" object member. *)
+(* Member names of the "sweep" object every dump must carry under
+   --require-sweep. *)
+let required_sweep_keys =
+  [
+    "journal"; "grid"; "complete"; "statuses"; "cells"; "bound_curve";
+    "engine_comparison";
+  ]
+
+(* Validates [s] and returns (top-level object keys, per-tracked-
+   section key lookup, per-tracked-section raw-text lookup) — empty
+   when the value is not an object / lacks that section. *)
 let validate (s : string) =
   let n = String.length s in
   let pos = ref 0 in
@@ -161,13 +183,13 @@ let validate (s : string) =
   in
   let root_keys = ref [] in
   let section_keys = Hashtbl.create 4 in
-  (* Raw text of the top-level "zdd" member's value, for the
-     --require-zdd value checks. *)
-  let zdd_span = ref None in
+  (* Raw text of each tracked top-level member's value, for the
+     --require-zdd / --require-sweep value checks. *)
+  let spans = Hashtbl.create 4 in
   (* [depth] is the object-nesting depth of this value; [in_section]
      names the top-level member ("meta", "daemon") whose own keys are
      collected for the --require-* checks. *)
-  let tracked_sections = [ "meta"; "daemon"; "autopilot"; "zdd" ] in
+  let tracked_sections = [ "meta"; "daemon"; "autopilot"; "zdd"; "sweep" ] in
   let rec value ~depth ~in_section =
     skip_ws ();
     match peek () with
@@ -195,8 +217,9 @@ let validate (s : string) =
               ~in_section:
                 (if depth = 0 && List.mem key tracked_sections then Some key
                  else None);
-            if depth = 0 && key = "zdd" then
-              zdd_span := Some (String.sub s value_start (!pos - value_start));
+            if depth = 0 && List.mem key tracked_sections then
+              Hashtbl.replace spans key
+                (String.sub s value_start (!pos - value_start));
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -238,12 +261,7 @@ let validate (s : string) =
   let keys_of s =
     List.rev (Option.value ~default:[] (Hashtbl.find_opt section_keys s))
   in
-  ( List.rev !root_keys,
-    keys_of "meta",
-    keys_of "daemon",
-    keys_of "autopilot",
-    keys_of "zdd",
-    !zdd_span )
+  (List.rev !root_keys, keys_of, Hashtbl.find_opt spans)
 
 (* --- value checks on the "zdd" section ----------------------------- *)
 
@@ -336,6 +354,69 @@ let check_zdd_values span =
           completes on the ZDD path");
   List.rev !errs
 
+(* The --require-sweep contract checks; returns the violation messages
+   (empty = pass).  Keyed to the shape scripts/analyze_sweep.exe
+   emits: "statuses" (whose only "ok":/"budget":/"skipped": keys live
+   there) before "cells" (whose rows carry "status": then "budget": in
+   that order; the engine-comparison rows use prefixed key names like
+   "explicit_status", which the quoted markers don't match). *)
+let check_sweep_values span =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  (match tokens_after span "complete" with
+  | [ "true" ] -> ()
+  | [ other ] -> err "\"sweep\" journal did not cover its grid: complete=%s" other
+  | _ -> err "\"sweep\" must carry exactly one \"complete\" flag");
+  (* First occurrence: "ok"/"skipped" appear only as status-tally keys,
+     and "budget"'s first occurrence is its tally too ("statuses"
+     precedes "cells" in the emitted member order). *)
+  let int1 key =
+    match tokens_after span key with
+    | t :: _ -> int_of_string_opt t
+    | [] -> None
+  in
+  let statuses = tokens_after span "status" in
+  (match (int1 "expected_cells", int1 "ok", int1 "budget", int1 "skipped") with
+  | Some expected, Some ok, Some budget, Some skipped ->
+      if ok + budget + skipped <> expected then
+        err
+          "\"sweep\" status tallies (%d ok + %d budget + %d skipped) do not \
+           sum to the grid's %d expected cells"
+          ok budget skipped expected;
+      if List.length statuses <> expected then
+        err "\"sweep\" has %d per-cell rows for %d expected cells"
+          (List.length statuses) expected
+  | _ ->
+      err
+        "\"sweep\" lacks the expected_cells / status-tally integers needed \
+         for the coverage check");
+  List.iteri
+    (fun i s ->
+      if s <> "\"ok\"" && s <> "\"budget\"" && s <> "\"skipped\"" then
+        err
+          "\"sweep\" cell %d has status %s (expected \"ok\", \"budget\" or \
+           \"skipped\")"
+          i s)
+    statuses;
+  (* Per-cell budgets: the first "budget": token is the status tally,
+     the rest pair up with the cells rows in order.  An ok or skipped
+     cell must carry a null budget (no cell is both ok and
+     budget-skipped); a budget cell must name its tripped budget. *)
+  (match tokens_after span "budget" with
+  | _tally :: budgets when List.length budgets = List.length statuses ->
+      List.iteri
+        (fun i (status, budget) ->
+          match (status, budget) with
+          | "\"budget\"", "null" ->
+              err "\"sweep\" cell %d: status budget but no budget named" i
+          | ("\"ok\"" | "\"skipped\""), b when b <> "null" ->
+              err "\"sweep\" cell %d: status %s yet budget %s recorded" i
+                status b
+          | _ -> ())
+        (List.combine statuses budgets)
+  | _ -> err "\"sweep\" cells rows lack paired status/budget members");
+  List.rev !errs
+
 let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -353,33 +434,35 @@ let () =
   let require_daemon = List.mem "--require-daemon" args in
   let require_autopilot = List.mem "--require-autopilot" args in
   let require_zdd = List.mem "--require-zdd" args in
+  let require_sweep = List.mem "--require-sweep" args in
   let files =
     List.filter
       (fun a ->
         a <> "--require-meta" && a <> "--require-daemon"
-        && a <> "--require-autopilot" && a <> "--require-zdd")
+        && a <> "--require-autopilot" && a <> "--require-zdd"
+        && a <> "--require-sweep")
       args
   in
   if files = [] then begin
     prerr_endline
       "usage: validate_json [--require-meta] [--require-daemon] \
-       [--require-autopilot] [--require-zdd] FILE.json ...";
+       [--require-autopilot] [--require-zdd] [--require-sweep] FILE.json ...";
     exit 2
   end;
   let failed = ref false in
   List.iter
     (fun path ->
       match validate (read_file path) with
-      | root_keys, meta_keys, daemon_keys, autopilot_keys, zdd_keys, zdd_span
-        ->
-          (* One required-section check, shared by meta and daemon. *)
+      | root_keys, keys_of, span_of ->
+          (* One required-section check, shared by every section. *)
           let file_ok = ref true in
-          let check_section name keys required =
+          let check_section name required =
             if not (List.mem name root_keys) then begin
               file_ok := false;
               Printf.eprintf "%s: missing top-level %S object\n" path name
             end
             else
+              let keys = keys_of name in
               let missing =
                 List.filter (fun k -> not (List.mem k keys)) required
               in
@@ -389,29 +472,36 @@ let () =
                   (String.concat ", " missing)
               end
           in
-          if require_meta then check_section "meta" meta_keys required_meta_keys;
-          if require_daemon then
-            check_section "daemon" daemon_keys required_daemon_keys;
-          if require_autopilot then
-            check_section "autopilot" autopilot_keys required_autopilot_keys;
-          if require_zdd then begin
-            check_section "zdd" zdd_keys required_zdd_keys;
-            match zdd_span with
+          let check_values name check =
+            match span_of name with
             | None -> () (* missing section already reported above *)
             | Some span ->
                 List.iter
                   (fun msg ->
                     file_ok := false;
                     Printf.eprintf "%s: %s\n" path msg)
-                  (check_zdd_values span)
+                  (check span)
+          in
+          if require_meta then check_section "meta" required_meta_keys;
+          if require_daemon then check_section "daemon" required_daemon_keys;
+          if require_autopilot then
+            check_section "autopilot" required_autopilot_keys;
+          if require_zdd then begin
+            check_section "zdd" required_zdd_keys;
+            check_values "zdd" check_zdd_values
+          end;
+          if require_sweep then begin
+            check_section "sweep" required_sweep_keys;
+            check_values "sweep" check_sweep_values
           end;
           if not !file_ok then failed := true
           else
-            Printf.printf "%s: well-formed JSON%s%s%s%s\n" path
+            Printf.printf "%s: well-formed JSON%s%s%s%s%s\n" path
               (if require_meta then " with complete meta" else "")
               (if require_daemon then " and daemon section" else "")
               (if require_autopilot then " and autopilot section" else "")
               (if require_zdd then " and zdd section" else "")
+              (if require_sweep then " and sweep section" else "")
       | exception Bad (pos, msg) ->
           failed := true;
           Printf.eprintf "%s: invalid JSON at byte %d: %s\n" path pos msg

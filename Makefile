@@ -24,8 +24,10 @@ bench:
 # JSON dump is well-formed, carries the environment meta block
 # (domains, OCaml version, dune profile) and the roundelimd
 # load-generator section, and that the "zdd" section upholds the
-# engine contract (statuses, byte-identity flags, monotone node
-# counts, and a recorded explicit-budget/zdd-ok wall instance).
+# engine contract (statuses, engine modes, byte-identity flags,
+# node counts monotone within each ladder rung, a recorded
+# explicit-budget/zdd-ok wall instance, and the mis3_autopilot
+# parity record).
 bench-smoke:
 	dune build bench
 	dune exec bench/main.exe -- relim_perf
@@ -76,11 +78,14 @@ fuzz-smoke:
 	dune exec bin/certify_fuzz.exe -- --count 500 --seed 2026
 	dune exec bin/certify_fuzz.exe -- --count 25 --self-test --domains 1
 
-# ZDD-path smoke: the equivalence suite (engine ops vs brute force,
-# right-closed families vs the order-ideal enumeration, rbar
-# byte-identity, and the col_18 beyond-the-wall instance — explicit
-# path trips its budget, ZDD path completes), then the CLI on both
-# opt-in routes (--zdd flag and RELIM_ZDD env var).
+# ZDD-path smoke: the equivalence suite (engine ops and the multi-slot
+# box layer vs brute force, right-closed families vs the order-ideal
+# enumeration, rbar and full-step byte-identity on all presets, and
+# the beyond-the-wall instances — col_18..20 trip the explicit path's
+# budgets but complete on the fully symbolic rung, col_21 falls past
+# the slot envelope to the streaming rung), then the CLI on both
+# opt-in routes (--zdd flag and RELIM_ZDD env var); the mis step here
+# exercises the symbolic maximal-box filter end to end.
 zdd-smoke:
 	dune build bin test/zdd
 	dune exec test/zdd/test_zdd.exe

@@ -1510,13 +1510,15 @@ let autopilot_bench () =
    2^k - 1 members but a k-node ZDD, and R̄(col_k) = col_k.  The
    explicit path hits its budgets around k = 11 (box-enumeration work,
    then the right-closed-set budget from k = 17); the ZDD path runs
-   the same search on the compressed family and completes through
-   k = 18.  Wherever both paths finish, the serialized step outputs
-   are compared byte for byte.  The results are merged into
-   BENCH_relim.json as a "zdd" object (preserving the other sections,
-   like the autopilot merge), in the exact shape `validate_json
-   --require-zdd` keys on: per-instance statuses, monotone zdd_nodes,
-   and identity flags. *)
+   the same search on the compressed family — fully symbolically while
+   the slot encoding fits (each instance records which rung ran in
+   "zdd_mode") — and completes through k = 20.  Wherever both paths
+   finish, the serialized step outputs are compared byte for byte.
+   The results are merged into BENCH_relim.json as a "zdd" object
+   (preserving the other sections, like the autopilot merge), in the
+   exact shape `validate_json --require-zdd` keys on: per-instance
+   statuses and modes, monotone zdd_nodes, identity flags, and the
+   "mis3_autopilot" regression record. *)
 let zdd_bench () =
   section "ZDD" "Breaking the Delta wall: hash-consed right-closed families";
   let col_problem k =
@@ -1550,19 +1552,27 @@ let zdd_bench () =
       | exception Relim.Budget.Budget_exceeded { budget; _ } -> `Budget budget
     in
     let wall = Unix.gettimeofday () -. t0 in
+    (* Which rung of the zdd ladder ran: the [maxbox_*] counters move
+       only on the fully symbolic path (PR 10), so a nonzero tuple
+       count after the run identifies it. *)
+    let mode =
+      if Relim.Rounde.stats.Relim.Rounde.maxbox_tuples > 0 then "symbolic"
+      else "streaming"
+    in
     ( outcome,
       wall,
       Relim.Rounde.stats.Relim.Rounde.rc_sets,
       Zdd.stats.Zdd.nodes - n0,
-      Zdd.stats.Zdd.peak_unique )
+      Zdd.stats.Zdd.peak_unique,
+      mode )
   in
-  let ks = [ 6; 8; 10; 12; 14; 16; 18 ] in
+  let ks = [ 6; 8; 10; 12; 14; 16; 18; 19; 20; 21 ] in
   let rows =
     List.map
       (fun k ->
         let p = col_problem k in
-        let explicit, e_wall, _, _, _ = run ~zdd:false p in
-        let zdd, z_wall, z_rc, z_nodes, z_peak = run ~zdd:true p in
+        let explicit, e_wall, _, _, _, _ = run ~zdd:false p in
+        let zdd, z_wall, z_rc, z_nodes, z_peak, z_mode = run ~zdd:true p in
         let status = function `Ok _ -> "ok" | `Budget _ -> "budget" in
         let identical =
           match (explicit, zdd) with
@@ -1570,19 +1580,21 @@ let zdd_bench () =
           | _ -> None
         in
         result
-          "  col%-3d explicit %-6s %7.3fs   zdd %-6s %7.3fs  rc=%-8d \
+          "  col%-3d explicit %-6s %7.3fs   zdd %-6s %-9s %7.3fs  rc=%-8d \
            nodes=%-7d identical=%s@."
-          k (status explicit) e_wall (status zdd) z_wall z_rc z_nodes
+          k (status explicit) e_wall (status zdd) z_mode z_wall z_rc z_nodes
           (match identical with
           | Some b -> string_of_bool b
           | None -> "n/a");
-        (k, explicit, e_wall, zdd, z_wall, z_rc, z_nodes, z_peak, identical))
+        (k, explicit, e_wall, zdd, z_wall, z_rc, z_nodes, z_peak, z_mode,
+         identical))
       ks
   in
   let open Store.Json in
   let instance_objs =
     List.map
-      (fun (k, explicit, e_wall, zdd, z_wall, z_rc, z_nodes, z_peak, identical)
+      (fun ( k, explicit, e_wall, zdd, z_wall, z_rc, z_nodes, z_peak, z_mode,
+             identical )
          ->
         let status = function `Ok _ -> "ok" | `Budget _ -> "budget" in
         let budget = function
@@ -1599,6 +1611,7 @@ let zdd_bench () =
             ("explicit_wall_s", Float e_wall);
             ("zdd_status", String (status zdd));
             ("zdd_budget", budget zdd);
+            ("zdd_mode", String z_mode);
             ("zdd_wall_s", Float z_wall);
             ("zdd_nodes", Int z_nodes);
             ("zdd_peak_unique", Int z_peak);
@@ -1609,15 +1622,62 @@ let zdd_bench () =
   in
   let first_budget =
     List.find_map
-      (fun (k, explicit, _, _, _, _, _, _, _) ->
+      (fun (k, explicit, _, _, _, _, _, _, _, _) ->
         match explicit with `Budget _ -> Some k | `Ok _ -> None)
       rows
   in
   let zdd_max_ok =
     List.fold_left
-      (fun acc (k, _, _, zdd, _, _, _, _, _) ->
+      (fun acc (k, _, _, zdd, _, _, _, _, _, _) ->
         match zdd with `Ok _ -> max acc k | `Budget _ -> acc)
       0 rows
+  in
+  let symbolic_max_ok =
+    List.fold_left
+      (fun acc (k, _, _, zdd, _, _, _, _, z_mode, _) ->
+        match zdd with
+        | `Ok _ when z_mode = "symbolic" -> max acc k
+        | _ -> acc)
+      0 rows
+  in
+  (* The honest cost of the compressed engine on a workload it does
+     NOT accelerate: the full mis Δ=3 sweep cell (step + fixed point +
+     autopilot relaxation search).  Before the PR 10 scan-work budget
+     this cell ran 26x slower under --zdd (the autopilot's monster R̄
+     candidates — 46-label alphabets, past the slotted filter's
+     Δ·n <= 62 envelope — burned minutes in an uncharged quadratic
+     dominance scan before a width budget discarded them anyway); the
+     recorded ratio pins that the gap stays closed. *)
+  let mis3_gap =
+    let cell z =
+      {
+        Sweep.family = Sweep.Mis;
+        delta = 3;
+        a = 0;
+        x = 0;
+        labels = 0;
+        engine = { Sweep.zdd = z; domains = 1; certify = false };
+      }
+    in
+    let budgets = Sweep.default_budgets in
+    let time z =
+      let t0 = Unix.gettimeofday () in
+      ignore (Sweep.run_cell ~budgets (cell z));
+      Unix.gettimeofday () -. t0
+    in
+    let e_wall = time false in
+    let z_wall = time true in
+    result
+      "  mis d=3 sweep cell (autopilot incl.): explicit %7.3fs   zdd %7.3fs  \
+       ratio=%.2fx@."
+      e_wall z_wall (z_wall /. e_wall);
+    Obj
+      [
+        ("cell", String "mis delta=3 full sweep cell (autopilot included)");
+        ("explicit_wall_s", Float e_wall);
+        ("zdd_wall_s", Float z_wall);
+        ("zdd_over_explicit", Float (z_wall /. e_wall));
+      ]
   in
   let zdd_obj =
     Obj
@@ -1630,7 +1690,9 @@ let zdd_bench () =
               ( "explicit_first_budget_k",
                 match first_budget with Some k -> Int k | None -> Null );
               ("zdd_completes_k", Int zdd_max_ok);
+              ("symbolic_completes_k", Int symbolic_max_ok);
             ] );
+        ("mis3_autopilot", mis3_gap);
       ]
   in
   (match first_budget with

@@ -29,14 +29,20 @@
    {ul
    {- every instance's [explicit_status] / [zdd_status] is "ok" or
       "budget";}
+   {- every instance's [zdd_mode] names a ladder rung, "symbolic" or
+      "streaming";}
    {- [identical] is [true] whenever both paths completed (the
       byte-identity contract) — never [false], and [null] only when a
       side tripped;}
    {- the [zdd_nodes] counts are monotone nondecreasing across the
-      instances (they are listed in increasing k);}
+      instances (they are listed in increasing k) within each ladder
+      rung — the count resets where [zdd_mode] switches;}
    {- at least one instance trips a budget on the explicit path while
       the ZDD path completes — the recorded proof that the wall
-      actually moved.}}
+      actually moved;}
+   {- the [mis3_autopilot] record carries a positive
+      [zdd_over_explicit] wall-clock ratio — the honest number for the
+      sweep cell the engine does {e not} accelerate.}}
 
    With --require-sweep, each file must carry a "sweep" object — the
    section scripts/analyze_sweep.exe merges from a relimsweep journal —
@@ -79,7 +85,7 @@ let required_autopilot_keys =
 
 (* Member names of the "zdd" object every dump must carry under
    --require-zdd. *)
-let required_zdd_keys = [ "family"; "instances"; "wall" ]
+let required_zdd_keys = [ "family"; "instances"; "wall"; "mis3_autopilot" ]
 
 (* Member names of the "sweep" object every dump must carry under
    --require-sweep. *)
@@ -310,6 +316,19 @@ let check_zdd_values span =
       if s <> "\"ok\"" && s <> "\"budget\"" then
         err "\"zdd\" instance has status %s (expected \"ok\" or \"budget\")" s)
     (e_status @ z_status);
+  (* engine modes: one per instance, naming a ladder rung *)
+  let modes = tokens_after span "zdd_mode" in
+  if List.length modes <> List.length e_status then
+    err "\"zdd\" has %d zdd_mode members for %d instances" (List.length modes)
+      (List.length e_status);
+  List.iter
+    (fun m ->
+      if m <> "\"symbolic\"" && m <> "\"streaming\"" then
+        err
+          "\"zdd\" instance has mode %s (expected \"symbolic\" or \
+           \"streaming\")"
+          m)
+    modes;
   (* identity flags: never false; null only excuses a tripped side *)
   List.iteri
     (fun i id ->
@@ -327,18 +346,24 @@ let check_zdd_values span =
       | other -> err "instance %d: bad identical flag %s" i other)
     identical;
   (* node counts: monotone nondecreasing across the (increasing-k)
-     instances *)
+     instances, within each ladder rung — the symbolic and streaming
+     rungs build different diagrams, so the count resets where the
+     mode switches *)
   let node_ints =
     List.filter_map (fun t -> int_of_string_opt t) nodes
   in
   if List.length node_ints <> List.length nodes then
     err "\"zdd\" has a non-integer zdd_nodes member";
   let rec monotone = function
-    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | (a, ma) :: ((b, mb) :: _ as rest) ->
+        (ma <> mb || a <= b) && monotone rest
     | _ -> true
   in
-  if not (monotone node_ints) then
-    err "\"zdd\" node counts are not monotone nondecreasing: %s"
+  if
+    List.length node_ints = List.length modes
+    && not (monotone (List.combine node_ints modes))
+  then
+    err "\"zdd\" node counts are not monotone nondecreasing within a mode: %s"
       (String.concat ", " (List.map string_of_int node_ints));
   (* the wall must have moved: some instance trips the explicit path
      and completes on the zdd path *)
@@ -352,6 +377,15 @@ let check_zdd_values span =
        err
          "\"zdd\" records no instance that trips the explicit path but \
           completes on the ZDD path");
+  (* the mis3_autopilot regression record: exactly one positive ratio *)
+  (match tokens_after span "zdd_over_explicit" with
+  | [ t ] -> (
+      match float_of_string_opt t with
+      | Some r when r > 0. -> ()
+      | _ -> err "\"zdd\" mis3_autopilot has a bad zdd_over_explicit ratio %s" t)
+  | other ->
+      err "\"zdd\" must carry exactly one zdd_over_explicit ratio (found %d)"
+        (List.length other));
   List.rev !errs
 
 (* The --require-sweep contract checks; returns the violation messages

@@ -151,13 +151,16 @@ let print_engine_stats () =
     \  rbar: calls=%d rc_sets=%d boxes_emitted=%d boxes_pruned=%d (%.3fs)@.\
     \  maximal: dom_checks=%d cheap_skips=%d transport_calls=%d \
      cache_hits=%d (%.3fs)@.\
-    \  zdd: nodes=%d cache_hits=%d peak_unique=%d@."
+    \  zdd: nodes=%d cache_hits=%d peak_unique=%d@.\
+    \  zdd.maxbox: tuples=%d cubes=%d maximal=%d enumerated=%d@."
     s.Relim.Rounde.rbar_calls s.Relim.Rounde.rc_sets
     s.Relim.Rounde.boxes_emitted s.Relim.Rounde.boxes_pruned
     s.Relim.Rounde.rbar_time_s s.Relim.Rounde.box_dom_checks
     s.Relim.Rounde.box_dom_cheap_skips s.Relim.Rounde.box_transport_calls
     s.Relim.Rounde.transport_cache_hits s.Relim.Rounde.maxbox_time_s
     Zdd.stats.Zdd.nodes Zdd.stats.Zdd.cache_hits Zdd.stats.Zdd.peak_unique
+    s.Relim.Rounde.maxbox_tuples s.Relim.Rounde.maxbox_cubes
+    s.Relim.Rounde.maxbox_maximal s.Relim.Rounde.maxbox_enumerated
 
 (* ---- show ---- *)
 

@@ -264,6 +264,10 @@ let right_closed_family ?node_limit d =
   done;
   (mgr, Zdd.diff mgr !fam Zdd.top)
 
+let right_closed_count ?node_limit d =
+  let mgr, fam = right_closed_family ?node_limit d in
+  Zdd.count mgr fam
+
 let iter_right_closed_zdd ?limit ?node_limit d f =
   let mgr, fam = right_closed_family ?node_limit d in
   translate_zdd_limit @@ fun () ->

@@ -64,6 +64,14 @@ val iter_right_closed : ?limit:int -> t -> (Labelset.t -> unit) -> unit
     construction overruns [node_limit]. *)
 val right_closed_family : ?node_limit:int -> t -> Zdd.manager * Zdd.t
 
+(** [|right_closed_sets d|] computed on the compressed family — no
+    enumeration, no [limit]: the count the explicit path reports when
+    it completes, available even where materializing the list would
+    trip its budget.  Used to keep the [rc_sets] counter
+    engine-independent on the fully symbolic R̄ path.
+    @raise Budget.Budget_exceeded as {!right_closed_family}. *)
+val right_closed_count : ?node_limit:int -> t -> int
+
 (** ZDD-backed variant of {!iter_right_closed}: enumerates the same
     sets in increasing bitset order (the diagram's canonical member
     order — no sort needed).  [limit] budgets the number of sets

@@ -13,6 +13,10 @@ type stats = {
   mutable box_dom_cheap_skips : int;
   mutable box_transport_calls : int;
   mutable transport_cache_hits : int;
+  mutable maxbox_tuples : int;
+  mutable maxbox_cubes : int;
+  mutable maxbox_maximal : int;
+  mutable maxbox_enumerated : int;
   mutable r_time_s : float;
   mutable rbar_time_s : float;
   mutable maxbox_time_s : float;
@@ -32,6 +36,10 @@ let stats =
     box_dom_cheap_skips = 0;
     box_transport_calls = 0;
     transport_cache_hits = 0;
+    maxbox_tuples = 0;
+    maxbox_cubes = 0;
+    maxbox_maximal = 0;
+    maxbox_enumerated = 0;
     r_time_s = 0.;
     rbar_time_s = 0.;
     maxbox_time_s = 0.;
@@ -65,6 +73,10 @@ let reset_stats () =
   stats.box_dom_cheap_skips <- 0;
   stats.box_transport_calls <- 0;
   stats.transport_cache_hits <- 0;
+  stats.maxbox_tuples <- 0;
+  stats.maxbox_cubes <- 0;
+  stats.maxbox_maximal <- 0;
+  stats.maxbox_enumerated <- 0;
   stats.r_time_s <- 0.;
   stats.rbar_time_s <- 0.;
   stats.maxbox_time_s <- 0.
@@ -173,6 +185,12 @@ let sample_rbar_counters () =
       ("zdd.nodes", Zdd.stats.Zdd.nodes);
       ("zdd.cache_hits", Zdd.stats.Zdd.cache_hits);
       ("zdd.peak_unique", Zdd.stats.Zdd.peak_unique);
+      (* Fully symbolic R̄ output side: family cardinalities of the
+         slotted pipeline (0 whenever the symbolic path didn't run). *)
+      ("zdd.maxbox_tuples", stats.maxbox_tuples);
+      ("zdd.maxbox_cubes", stats.maxbox_cubes);
+      ("zdd.maxbox_maximal", stats.maxbox_maximal);
+      ("zdd.maxbox_enumerated", stats.maxbox_enumerated);
     ]
 
 let r_impl (p : Problem.t) =
@@ -546,6 +564,130 @@ let valid_boxes ?pool ?zdd (p : Problem.t) ~expand_limit ~rc_limit =
         | None -> explicit ()
       else explicit ())
 
+(* --- Fully symbolic output side ----------------------------------- *)
+
+(* [arrangements groups delta f]: call [f] on every distinct assignment
+   of the multiset of [groups] (mask, multiplicity) to the [delta]
+   slots, as a reused [int array] of per-slot masks.  The number of
+   calls is the multinomial Δ! / ∏ cᵢ!, never Δ! — condensed lines stay
+   condensed. *)
+let arrangements groups delta f =
+  let groups = Array.of_list groups in
+  let remaining = Array.map snd groups in
+  let slotmasks = Array.make (max 1 delta) 0 in
+  let rec fill s =
+    if s = delta then f slotmasks
+    else
+      Array.iteri
+        (fun g (mask, _) ->
+          if remaining.(g) > 0 then begin
+            remaining.(g) <- remaining.(g) - 1;
+            slotmasks.(s) <- mask;
+            fill (s + 1);
+            remaining.(g) <- remaining.(g) + 1
+          end)
+        groups
+  in
+  fill 0
+
+(* The box family itself as a ZDD, all the way through the dominance
+   filter: no explicit box list exists until the final (already
+   maximal) members stream out.  Returns [None] when the slotted
+   encoding does not apply — inexact node diagram, Δ = 0, or Δ·n > 62
+   bits — and the caller falls back to the streaming/explicit paths.
+
+   Load-bearing facts (each pinned by the equivalence suite in
+   test/zdd):
+
+   - T, the relation of ordered label tuples of allowed configurations,
+     is slot-wise up-closed when the diagram is exact (substituting a
+     stronger label keeps a configuration allowed), so every maximal
+     member of [Zdd.boxes T] automatically has right-closed slot
+     components: the right-closed family never materializes here.
+   - Box dominance — an injective matching of each set into a superset
+     — is exactly ∃σ. b ⊆ σ(c) slot-wise, i.e. strict containment of
+     encodings in the permutation-closed family.  T is built from all
+     arrangements of each line, so [Zdd.boxes T] is permutation-closed
+     and Coudert [Zdd.maximal] on it *is* the full dominance filter,
+     transport matching included.
+   - Order: the explicit path returns boxes in decreasing lexicographic
+     order of their canonical (slot-sorted) encodings; [Zdd.iter]
+     enumerates encodings increasing, so keeping the canonical members
+     and prepending reproduces the explicit list byte for byte. *)
+let symbolic_boxes_impl (p : Problem.t) =
+  let delta = Problem.delta p in
+  let n = Alphabet.size p.alpha in
+  if delta = 0 || n = 0 || delta * n > 62 then None
+  else
+    let diagram = Diagram.node_diagram p in
+    if not (Diagram.is_exact diagram) then None
+    else begin
+      let work = ref 0 in
+      let charge budget amount =
+        work := !work + amount;
+        if !work > box_work_limit then
+          Budget.exceeded ~budget ~limit:(float_of_int box_work_limit)
+      in
+      let lay = Zdd.layout ~slots:delta ~width:n in
+      let mgr = Zdd.create ~nbits:(Zdd.layout_bits lay) () in
+      let cube_fam =
+        Trace.with_span "rounde.valid_boxes"
+          ~attrs:[ ("problem", p.name) ]
+        @@ fun () ->
+        translate_zdd_limit @@ fun () ->
+        (* [rc_sets] stays engine-independent: count the same family
+           the other paths enumerate, without materializing it. *)
+        stats.rc_sets <- stats.rc_sets + Diagram.right_closed_count diagram;
+        let tuples = ref Zdd.bot in
+        List.iter
+          (fun line ->
+            let groups =
+              List.map
+                (fun (s, c) -> (Labelset.to_bits s, c))
+                (Line.groups line)
+            in
+            arrangements groups delta (fun slotmasks ->
+                charge "Rounde.rbar: box family construction work (zdd)"
+                  (1 + delta);
+                tuples :=
+                  Zdd.union mgr !tuples (Zdd.one_per_slot mgr lay slotmasks)))
+          (Constr.lines p.node);
+        stats.maxbox_tuples <- stats.maxbox_tuples + Zdd.count mgr !tuples;
+        let cube_fam =
+          Zdd.boxes ~work_limit:(box_work_limit - !work) mgr lay !tuples
+        in
+        stats.maxbox_cubes <- stats.maxbox_cubes + Zdd.count mgr cube_fam;
+        cube_fam
+      in
+      let boxes =
+        Trace.with_span "rounde.maximal_boxes"
+          ~attrs:[ ("boxes", "symbolic") ]
+        @@ fun () ->
+        translate_zdd_limit @@ fun () ->
+        let t0 = now () in
+        let maxf = Zdd.maximal mgr cube_fam in
+        stats.maxbox_maximal <- stats.maxbox_maximal + Zdd.count mgr maxf;
+        let boxes = ref [] in
+        let kept = ref 0 in
+        Zdd.iter mgr maxf (fun enc ->
+            charge "Rounde.rbar: maximal box enumeration (zdd)" 1;
+            let slots = Zdd.decode_slots lay enc in
+            let sorted = ref true in
+            Array.iteri
+              (fun i mask -> if i > 0 && mask < slots.(i - 1) then sorted := false)
+              slots;
+            if !sorted then begin
+              incr kept;
+              boxes := Array.to_list (Array.map Labelset.of_bits slots) :: !boxes
+            end);
+        stats.maxbox_enumerated <- stats.maxbox_enumerated + !kept;
+        stats.boxes_emitted <- stats.boxes_emitted + !kept;
+        stats.maxbox_time_s <- stats.maxbox_time_s +. (now () -. t0);
+        !boxes
+      in
+      Some boxes
+    end
+
 (* Precomputed dominance keys.  If [box_leq b b'] (every set of [b]
    matched injectively into a superset in [b']) then necessarily:
    support(b) ⊆ support(b'), the total cardinality of [b] is at most
@@ -671,11 +813,79 @@ let zdd_prescreen keyed =
       keyed
   with Zdd.Limit _ -> Array.make m false
 
+(* Complete dominance verdicts from Coudert maximal on the real Δ-slot
+   family (the upgrade of the support prescreen above): insert every
+   distinct arrangement of every box into a slotted family, extract the
+   maximal members, and read each box's verdict off canonical-encoding
+   membership — box dominance is exactly strict encoding containment up
+   to a slot permutation, so this is the *whole* filter, not a screen:
+   no dominator scan, no transport matching.  [None] when the encoding
+   or the orbit expansion doesn't fit (falls back to the screen+scan
+   path); a unique-table overrun likewise. *)
+let zdd_slotted_verdicts keyed =
+  let m = Array.length keyed in
+  if m = 0 then None
+  else
+    let delta = Array.length keyed.(0).sets in
+    let n =
+      let maxmask =
+        Array.fold_left (fun acc k -> acc lor Labelset.to_bits k.support) 0 keyed
+      in
+      let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+      bits maxmask 0
+    in
+    let orbit_bound =
+      (* ≤ Δ! arrangements per box; cheap overestimate to bound the
+         insertion work before starting. *)
+      let rec fact k acc = if k <= 1 then acc else fact (k - 1) (k * acc) in
+      m * fact (min delta 12) 1
+    in
+    if delta = 0 || n = 0 || delta * n > 62 || orbit_bound > 2_000_000 then None
+    else
+      try
+        let lay = Zdd.layout ~slots:delta ~width:n in
+        let mgr = Zdd.create ~nbits:(Zdd.layout_bits lay) () in
+        let fam = ref Zdd.bot in
+        let encode k =
+          Zdd.encode_slots lay (Array.map Labelset.to_bits k.sets)
+        in
+        Array.iter
+          (fun k ->
+            (* Group equal sets so [arrangements] emits each distinct
+               slot assignment exactly once. *)
+            let groups =
+              List.fold_left
+                (fun acc s ->
+                  let mask = Labelset.to_bits s in
+                  match acc with
+                  | (mask', c) :: rest when mask' = mask -> (mask, c + 1) :: rest
+                  | _ -> (mask, 1) :: acc)
+                [] k.sorted
+            in
+            arrangements groups delta (fun slotmasks ->
+                fam :=
+                  Zdd.union mgr !fam
+                    (Zdd.of_mask mgr (Zdd.encode_slots lay slotmasks))))
+          keyed;
+        let maxf = Zdd.maximal mgr !fam in
+        Some (Array.map (fun k -> not (Zdd.mem mgr maxf (encode k))) keyed)
+      with Zdd.Limit _ -> None
+
 let maximal_boxes_impl ?pool ~use_zdd boxes =
   let pool = Parctl.resolve pool in
   let t0 = now () in
   let keyed = Array.of_list (List.map box_key boxes) in
   let m = Array.length keyed in
+  match if use_zdd then zdd_slotted_verdicts keyed else None with
+  | Some dominated ->
+      (* The slotted family answered every verdict: no scan at all.
+         Output-identical to the scan below (the verdicts coincide box
+         by box and the input order is preserved); only the scan
+         counters ([box_dom_*], [*transport*]) stay at zero. *)
+      let result = List.filteri (fun i _ -> not dominated.(i)) boxes in
+      stats.maxbox_time_s <- stats.maxbox_time_s +. (now () -. t0);
+      result
+  | None ->
   let undominated =
     if use_zdd && m > 0 then zdd_prescreen keyed
     else Array.make (max 1 m) false
@@ -683,6 +893,23 @@ let maximal_boxes_impl ?pool ~use_zdd boxes =
   (* Candidate dominators, in non-increasing total cardinality. *)
   let order = Array.init m Fun.id in
   Array.sort (fun i j -> compare keyed.(j).total keyed.(i).total) order;
+  (* On the compressed path the quadratic scan is charged against the
+     same work limit as enumeration, through a shared atomic counter.
+     Each box's check count is a fixed property of the instance (the
+     scan order and early exits read only the immutable [keyed]/[order]
+     tables), so the grand total — and hence the trip verdict — is
+     identical for every domain count and schedule.  The explicit path
+     stays uncharged: its inputs already passed the enumeration budget,
+     and its scan cost is bounded by them. *)
+  let scan_work = Atomic.make 0 in
+  let charge_scan amount =
+    if use_zdd then begin
+      let before = Atomic.fetch_and_add scan_work amount in
+      if before + amount > box_work_limit then
+        Budget.exceeded ~budget:"Rounde.rbar: maximal box scan work (zdd)"
+          ~limit:(float_of_int box_work_limit)
+    end
+  in
   let dominated local i =
     let bi = keyed.(i) in
     let rec scan idx =
@@ -719,7 +946,13 @@ let maximal_boxes_impl ?pool ~use_zdd boxes =
       { checks = 0; cheap_skips = 0; transport_calls = 0; cache_hits = 0;
         memo = Hashtbl.create 256 })
     ~body:(fun local i ->
-      flags.(i) <- (not undominated.(i)) && dominated local i)
+      (* The charge is settled once per box (one atomic op, not one per
+         check); a single box's scan is at most [m] checks, so the
+         overshoot before a trip is registered stays bounded. *)
+      let checks_before = local.checks in
+      let verdict = (not undominated.(i)) && dominated local i in
+      charge_scan (local.checks - checks_before);
+      flags.(i) <- verdict)
     ~merge:(fun l ->
       stats.box_dom_checks <- stats.box_dom_checks + l.checks;
       stats.box_dom_cheap_skips <- stats.box_dom_cheap_skips + l.cheap_skips;
@@ -744,9 +977,23 @@ let rbar_impl ?(expand_limit = 2e6) ?(rc_limit = 100_000) ?pool ?zdd
      instances are stopped by [rc_limit], [expand_limit] and the DFS
      work budget instead — all of which fail as fast as the old cap.
      With the ZDD path on, [rc_limit] does not apply at all (nothing is
-     materialized); the manager's node budget takes its place. *)
+     materialized); the manager's node budget takes its place.
+
+     Engine ladder under [~zdd]: the fully symbolic pipeline
+     ([symbolic_boxes_impl]: box family as a Δ-slot ZDD through Coudert
+     maximal, the node constraint never expanded) when the slotted
+     encoding applies; else the streaming compressed DFS inside
+     [valid_boxes]; else the explicit DFS — each rung byte-identical to
+     the others wherever both complete. *)
   let boxes =
-    maximal_boxes ?pool ?zdd (valid_boxes ?pool ?zdd p ~expand_limit ~rc_limit)
+    let fallback () =
+      maximal_boxes ?pool ?zdd (valid_boxes ?pool ?zdd p ~expand_limit ~rc_limit)
+    in
+    if Parctl.resolve_zdd zdd then
+      match symbolic_boxes_impl p with
+      | Some boxes -> boxes
+      | None -> fallback ()
+    else fallback ()
   in
   if boxes = [] then failwith "Rounde.rbar: empty node constraint";
   (* New alphabet: the distinct sets used in maximal boxes. *)

@@ -60,6 +60,18 @@ type stats = {
       (** Transportation verdicts answered by a per-worker memo keyed
           on the Δ×Δ subset-relation matrix of the two boxes (the
           matching verdict is a function of that matrix alone). *)
+  mutable maxbox_tuples : int;
+      (** Members of the allowed-tuple relation T on the fully symbolic
+          R̄ path (0 when that path didn't run).  Surfaced, like the
+          three fields below, as the [zdd.maxbox_*] trace counters. *)
+  mutable maxbox_cubes : int;
+      (** Members of the valid-box family [Zdd.boxes T] (all slot
+          arrangements counted). *)
+  mutable maxbox_maximal : int;
+      (** Members of the Coudert-maximal family (all arrangements). *)
+  mutable maxbox_enumerated : int;
+      (** Canonical (slot-sorted) maximal boxes streamed out — the
+          symbolic path's final box count. *)
   mutable r_time_s : float;
   mutable rbar_time_s : float;
   mutable maxbox_time_s : float;
@@ -112,23 +124,41 @@ val r : Problem.t -> denoted
     count; the work budget is shared across branches through an atomic
     counter, so whether it trips is a property of the instance, not of
     the schedule.
-    @param zdd run the box search and the maximal-box filter on the
-    hash-consed family representation from [lib/zdd] (defaults to
-    {!Parctl.zdd_from_env}).  On every instance both paths can handle,
-    the result is byte-identical to the explicit path — problems,
-    denotations, box order and [boxes_emitted]/[rc_sets] counters alike
-    (pinned by the equivalence suite in [test/zdd]) — but the capacity
-    envelope moves: [rc_limit] no longer applies (the right-closed
-    family is never materialized; the ZDD node budget takes its place),
-    and the box search charges its own work against the shared budget
-    under the distinct name ["... box enumeration work (zdd)"], so
-    instances that trip a budget on one path may complete — or trip a
-    differently-named budget — on the other.  [boxes_pruned] stays 0
-    and the [box_dom_*] counters shrink on this path (pruned candidates
-    are never enumerated; pre-screened boxes skip the dominator scan).
-    The search runs in the calling domain ([?pool] still drives the
-    dominance filter); problems whose node diagram is inexact fall back
-    to the explicit path automatically.
+    @param zdd run the output side on the hash-consed family
+    representation from [lib/zdd] (defaults to
+    {!Parctl.zdd_from_env}), as a ladder of three engines.  (1) When
+    the node diagram is exact and Δ·n ≤ 62, the {e fully symbolic}
+    pipeline: the box family itself is a ZDD over Δ·n slotted bits,
+    built straight from the condensed node lines (never expanded),
+    Coudert [Zdd.maximal] computes the whole dominance filter
+    (dominance = containment up to a slot permutation in the
+    permutation-closed family), and only the final maximal boxes are
+    ever materialized.  (2) Otherwise the streaming compressed DFS
+    over the right-closed family.  (3) Problems whose node diagram is
+    inexact fall back to the explicit path.  On every instance two
+    paths can both handle, the result is byte-identical — problems,
+    denotations, box order and the [rc_sets] counter alike (pinned by
+    the equivalence suite in [test/zdd]) — but the capacity envelope
+    moves: [rc_limit] and [expand_limit] do not apply on the symbolic
+    rung and [rc_limit] not on the streaming one (nothing is
+    materialized; the ZDD node budget takes their place), and the
+    symbolic/streaming work is charged against the shared work budget
+    under the distinct names ["... box family construction work
+    (zdd)"], ["... maximal box enumeration (zdd)"], ["Zdd.boxes:
+    construction work"], ["... box enumeration work (zdd)"] and
+    ["... maximal box scan work (zdd)"] (the quadratic dominance scan
+    itself, charged per pair check when the streaming rung feeds a
+    family too wide for the slotted filter), so instances that trip a
+    budget on one path may complete — or trip a differently-named
+    budget — on the other.  Engine-dependent
+    counters: [boxes_emitted] counts only the surviving boxes on the
+    symbolic rung (the DFS paths count every valid box);
+    [boxes_pruned] stays 0 and the [box_dom_*]/[*transport*] counters
+    stay 0 or shrink on the compressed rungs (pruned candidates are
+    never enumerated; the slotted filter answers verdicts without a
+    scan); the [maxbox_*] family counters move only on the symbolic
+    rung.  The search runs in the calling domain ([?pool] still
+    drives the explicit dominance filter).
     @raise Budget.Budget_exceeded if any budget is exceeded. *)
 val rbar :
   ?expand_limit:float -> ?rc_limit:int -> ?pool:Parallel.Pool.t ->

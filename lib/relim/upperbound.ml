@@ -1,6 +1,6 @@
 type outcome = Solvable_in of int | Unknown_after of int
 
-let search ?(max_steps = 4) ?expand_limit ?pool (p : Problem.t) =
+let search ?(max_steps = 4) ?expand_limit ?pool ?zdd (p : Problem.t) =
   Trace.with_span "upperbound.search"
     ~attrs:
       [ ("problem", p.Problem.name); ("max_steps", string_of_int max_steps) ]
@@ -21,7 +21,7 @@ let search ?(max_steps = 4) ?expand_limit ?pool (p : Problem.t) =
     else if steps >= max_steps then verdict (Unknown_after steps)
     else begin
       Trace.instant "upperbound.step" ~attrs:[ ("steps", string_of_int steps) ];
-      match Rounde.step ?expand_limit ?pool p with
+      match Rounde.step ?expand_limit ?pool ?zdd p with
       | { Rounde.problem = next; _ } -> go (Simplify.normalize next) (steps + 1)
       | exception (Budget.Budget_exceeded _ | Failure _) ->
           verdict (Unknown_after steps)

@@ -21,7 +21,11 @@ type outcome =
 
 (** [?pool] is passed through to the speedup steps and the 0-round
     decider (default {!Parctl.default}); the outcome is identical for
-    every domain count. *)
+    every domain count.  [?zdd] selects the step engine (default
+    {!Parctl.zdd_from_env}); note the capacity envelope moves with it —
+    [expand_limit] is an explicit-path guard the fully symbolic rung
+    does not consult (see {!Rounde.rbar}), so a tiny limit that stops
+    the explicit search at step 0 may let the symbolic one run on. *)
 val search :
   ?max_steps:int -> ?expand_limit:float -> ?pool:Parallel.Pool.t ->
-  Problem.t -> outcome
+  ?zdd:bool -> Problem.t -> outcome

@@ -338,6 +338,13 @@ let stats_fields st =
           ("nodes", Json.Int Zdd.stats.Zdd.nodes);
           ("cache_hits", Json.Int Zdd.stats.Zdd.cache_hits);
           ("peak_unique", Json.Int Zdd.stats.Zdd.peak_unique);
+          (* Symbolic R̄ output side (PR 10): the slotted maximal-box
+             family cardinalities, 0 unless that path ran. *)
+          ("maxbox_tuples", Json.Int Rounde.stats.Rounde.maxbox_tuples);
+          ("maxbox_cubes", Json.Int Rounde.stats.Rounde.maxbox_cubes);
+          ("maxbox_maximal", Json.Int Rounde.stats.Rounde.maxbox_maximal);
+          ( "maxbox_enumerated",
+            Json.Int Rounde.stats.Rounde.maxbox_enumerated );
         ] );
   ]
   @ store_fields

@@ -271,16 +271,19 @@ let run_cell ?(clock = Unix.gettimeofday) ~budgets c =
                   ("closure_revisits", Int s.Relim.Rounde.closure_revisits);
                   ("rbar_calls", Int s.Relim.Rounde.rbar_calls);
                   ("rc_sets", Int s.Relim.Rounde.rc_sets);
-                  ("boxes_emitted", Int s.Relim.Rounde.boxes_emitted);
                 ];
             (* The documented per-engine exceptions, scoped to the step
                phase.  transport_cache_hits counts hits in per-worker
                memo tables, so it is only deterministic for
                single-domain cells; recording null otherwise keeps
-               every journal byte-deterministic. *)
+               every journal byte-deterministic.  boxes_emitted moved
+               here in PR 10: the fully symbolic path emits only the
+               surviving maximal boxes, so the value is an engine
+               property now, not a cross-engine invariant. *)
             eng_counters :=
               Obj
                 [
+                  ("boxes_emitted", Int s.Relim.Rounde.boxes_emitted);
                   ("boxes_pruned", Int s.Relim.Rounde.boxes_pruned);
                   ("box_dom_checks", Int s.Relim.Rounde.box_dom_checks);
                   ( "box_dom_cheap_skips",
@@ -294,6 +297,10 @@ let run_cell ?(clock = Unix.gettimeofday) ~budgets c =
                   ("zdd_nodes", Int (Zdd.stats.Zdd.nodes - zdd_nodes0));
                   ( "zdd_cache_hits",
                     Int (Zdd.stats.Zdd.cache_hits - zdd_hits0) );
+                  ("maxbox_tuples", Int s.Relim.Rounde.maxbox_tuples);
+                  ("maxbox_cubes", Int s.Relim.Rounde.maxbox_cubes);
+                  ("maxbox_maximal", Int s.Relim.Rounde.maxbox_maximal);
+                  ("maxbox_enumerated", Int s.Relim.Rounde.maxbox_enumerated);
                 ];
             Obj
               [

@@ -40,10 +40,12 @@
     ([status = "ok"] with no internal budget skips), the records agree
     on everything outside ["cell"], ["config"], ["wall_s"] and the
     documented per-engine exceptions: the ["engine_counters"] object
-    (the explicit-vs-ZDD paths count dominance work differently — see
-    [Rounde.rbar]) and, across domain counts, [transport_cache_hits].
-    This is the PR 3 (domains) / PR 8 (ZDD) byte-identity contract
-    surfaced at the sweep level. *)
+    (the explicit-vs-ZDD paths count dominance work differently, the
+    fully symbolic path emits only surviving boxes ([boxes_emitted])
+    and moves the [maxbox_*] family counters — see [Rounde.rbar]) and,
+    across domain counts, [transport_cache_hits].  This is the PR 3
+    (domains) / PR 8 (ZDD) / PR 10 (symbolic output side) byte-identity
+    contract surfaced at the sweep level. *)
 
 type family = Mis | So | Mm | Col | Pi | Pi_plus
 

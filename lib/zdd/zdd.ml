@@ -109,6 +109,8 @@ let op_onset = 8
 
 let op_offset = 9
 
+let op_cofactor = 10
+
 let cached m op x y compute =
   let key = (op, x, y) in
   stats.cache_lookups <- stats.cache_lookups + 1;
@@ -196,6 +198,15 @@ let offset m l f =
     if f.var > v then f
     else if f.var = v then f.lo
     else cached m op_offset l f.id (fun () -> mk m f.var (go f.lo) (go f.hi))
+  in
+  go f
+
+let cofactor m l f =
+  let v = var_of_label m l in
+  let rec go f =
+    if f.var > v then bot (* l absent from every member below *)
+    else if f.var = v then f.hi
+    else cached m op_cofactor l f.id (fun () -> mk m f.var (go f.lo) (go f.hi))
   in
   go f
 
@@ -368,3 +379,143 @@ let elements ?limit m f =
   let acc = ref [] in
   iter ?limit m f (fun mask -> acc := mask :: !acc);
   List.rev !acc
+
+(* --- Slotted (multi-slot) families -------------------------------- *)
+
+(* A layout splits the manager's bits into [slots] contiguous blocks of
+   [width] bits; slot 0 occupies the *most significant* block so the
+   numeric order on encodings is the lexicographic order on the slot
+   mask tuples — the same order every enumeration above produces. *)
+
+type layout = { slots : int; width : int }
+
+let layout ~slots ~width =
+  if slots < 1 || width < 1 || slots * width > 62 then
+    invalid_arg "Zdd.layout: need slots >= 1, width >= 1, slots * width <= 62";
+  { slots; width }
+
+let layout_bits lay = lay.slots * lay.width
+
+let slot_bit lay ~slot ~label =
+  if slot < 0 || slot >= lay.slots || label < 0 || label >= lay.width then
+    invalid_arg "Zdd.slot_bit: out of range";
+  ((lay.slots - 1 - slot) * lay.width) + label
+
+let encode_slots lay masks =
+  if Array.length masks <> lay.slots then
+    invalid_arg "Zdd.encode_slots: wrong number of slots";
+  let full = (1 lsl lay.width) - 1 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun s mask ->
+      if mask land lnot full <> 0 then
+        invalid_arg "Zdd.encode_slots: slot mask out of range";
+      acc := !acc lor (mask lsl ((lay.slots - 1 - s) * lay.width)))
+    masks;
+  !acc
+
+let decode_slots lay enc =
+  let full = (1 lsl lay.width) - 1 in
+  Array.init lay.slots (fun s ->
+      (enc lsr ((lay.slots - 1 - s) * lay.width)) land full)
+
+let check_layout m what lay =
+  if m.nbits <> layout_bits lay then
+    invalid_arg (Printf.sprintf "Zdd.%s: manager width <> layout bits" what)
+
+let one_per_slot m lay masks =
+  check_layout m "one_per_slot" lay;
+  if Array.length masks <> lay.slots then
+    invalid_arg "Zdd.one_per_slot: wrong number of slots";
+  (* Bottom slot upward; within a slot, ascending label order builds
+     the deepest (least significant) decision first, so every [mk] sees
+     children of strictly greater var.  An empty slot mask leaves
+     [pick = bot], which zero-suppression then propagates to [bot] for
+     the whole family — no transversal exists. *)
+  let rec slot s acc =
+    if s < 0 then acc
+    else begin
+      let pick = ref bot in
+      for label = 0 to lay.width - 1 do
+        if masks.(s) land (1 lsl label) <> 0 then
+          pick := mk m (m.nbits - 1 - slot_bit lay ~slot:s ~label) !pick acc
+      done;
+      slot (s - 1) !pick
+    end
+  in
+  slot (lay.slots - 1) top
+
+(* The family of all "boxes" over a transversal relation [t]: members
+   are encodings whose slot masks B₀ … B_{slots-1} are all non-empty
+   and satisfy B₀ × … × B_{slots-1} ⊆ t (every one-per-slot choice is
+   a member of [t]).
+
+   Recursion per slot: walking the slot's labels from the most
+   significant down, the state is the intersection [acc] of the
+   cofactors of the slot-entry relation at every label taken so far
+   (the completions of the remaining slots must be valid for *each*
+   chosen label); [None] means no label was taken yet, and a slot that
+   ends with [None] dies — boxes have no empty slot.  Memoization on
+   (label, acc) per slot entry, plus (slot, relation) across entries,
+   keeps the construction polynomial in the diagram sizes. *)
+let boxes ?(work_limit = max_int) m lay t =
+  check_layout m "boxes" lay;
+  let work = ref 0 in
+  let charge () =
+    if !work >= work_limit then
+      raise
+        (Limit
+           {
+             what = "Zdd.boxes: construction work";
+             limit = float_of_int work_limit;
+             realized = !work;
+           });
+    incr work
+  in
+  let cubes_memo = Hashtbl.create 1024 in
+  let rec cubes s rel =
+    if s = lay.slots then if rel == top then top else bot
+    else if rel == bot then bot
+    else
+      match Hashtbl.find_opt cubes_memo (s, rel.id) with
+      | Some r -> r
+      | None ->
+          let base = (lay.slots - 1 - s) * lay.width in
+          let cof =
+            Array.init lay.width (fun label ->
+                charge ();
+                cofactor m (base + label) rel)
+          in
+          let memo = Hashtbl.create 64 in
+          let rec g l acc =
+            match acc with
+            | None ->
+                if l < 0 then bot
+                else
+                  mk m
+                    (m.nbits - 1 - (base + l))
+                    (g (l - 1) None)
+                    (g (l - 1) (Some cof.(l)))
+            | Some a when a == bot -> bot
+            | Some a ->
+                if l < 0 then cubes (s + 1) a
+                else begin
+                  match Hashtbl.find_opt memo (l, a.id) with
+                  | Some r -> r
+                  | None ->
+                      charge ();
+                      let r =
+                        mk m
+                          (m.nbits - 1 - (base + l))
+                          (g (l - 1) (Some a))
+                          (g (l - 1) (Some (inter m a cof.(l))))
+                      in
+                      Hashtbl.add memo (l, a.id) r;
+                      r
+                end
+          in
+          let r = g (lay.width - 1) None in
+          Hashtbl.add cubes_memo (s, rel.id) r;
+          r
+  in
+  cubes 0 t

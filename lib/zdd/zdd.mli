@@ -78,6 +78,11 @@ val onset : manager -> int -> t -> t
 val offset : manager -> int -> t -> t
 (** [offset m l f]: the members of [f] not containing label [l]. *)
 
+val cofactor : manager -> int -> t -> t
+(** [cofactor m l f] is [{ x \ {l} | x ∈ f, l ∈ x }] — the hi cofactor
+    ("subset1") of [f] at label [l]: {!onset} keeps [l] in the
+    surviving members, this removes it. *)
+
 val subsets_within : manager -> t -> int -> t
 (** [subsets_within m f s] is [{ x ∈ f | x ⊆ s }]. *)
 
@@ -109,6 +114,57 @@ val iter_ge : manager -> t -> from:int -> (int -> unit) -> unit
 
 val elements : ?limit:int -> manager -> t -> int list
 (** [iter] collected into a list (increasing order). *)
+
+(** {1 Slotted (multi-slot) families}
+
+    A {!layout} splits a manager's bits into [slots] contiguous blocks
+    of [width] bits each; block [s] holds a label {e mask} over
+    [0 .. width - 1], so one member of a slotted family encodes a whole
+    tuple (B₀ … B_{slots-1}) of label sets — a round-elimination "box".
+    Slot 0 occupies the {e most significant} block, so the numeric
+    order on encodings (the order of every enumeration above) is the
+    lexicographic order on slot-mask tuples.  Set operations, Coudert
+    {!maximal} and the enumeration budgets all apply unchanged: strict
+    containment of encodings is exactly slot-wise containment of the
+    boxes. *)
+
+type layout = private { slots : int; width : int }
+
+val layout : slots:int -> width:int -> layout
+(** @raise Invalid_argument unless [slots >= 1], [width >= 1] and
+    [slots * width <= 62]. *)
+
+val layout_bits : layout -> int
+(** [slots * width] — the [nbits] the owning manager must have. *)
+
+val slot_bit : layout -> slot:int -> label:int -> int
+(** The manager bit holding [label] of [slot]. *)
+
+val encode_slots : layout -> int array -> int
+(** Pack per-slot label masks (index 0 = slot 0 = most significant
+    block) into one encoding.
+    @raise Invalid_argument on a wrong-length array or an overflowing
+    slot mask. *)
+
+val decode_slots : layout -> int -> int array
+(** Inverse of {!encode_slots}. *)
+
+val one_per_slot : manager -> layout -> int array -> t
+(** [one_per_slot m lay masks] is the family of all {e transversals}
+    of the slot masks: members pick exactly one set bit of [masks.(s)]
+    in every slot [s] ([∏ |masks.(s)|] members in [O(slots * width)]
+    nodes; [bot] if any slot mask is empty).  The manager must have
+    exactly [layout_bits lay] bits. *)
+
+val boxes : ?work_limit:int -> manager -> layout -> t -> t
+(** [boxes m lay t] — with [t] a family of transversal encodings (one
+    bit per slot) — is the family of all encodings whose slot masks
+    B₀ … B_{slots-1} are all non-empty and whose every transversal
+    lies in [t]: the valid "boxes" of the relation, represented
+    compressed.  [work_limit] bounds the construction work (memoized
+    recursion steps); overruns raise
+    [Limit { what = "Zdd.boxes: construction work"; _ }] with the
+    realized count.  The manager's node budget applies as usual. *)
 
 (** {1 Global instrumentation}
 

@@ -107,7 +107,12 @@ let test_zdd_flag_byte_identity () =
   Alcotest.(check string) "stdout byte-identical" explicit zdd;
   Alcotest.(check bool) "zdd engine exercised" true
     (contains ~sub:"zdd: nodes=" stderr
-    && not (contains ~sub:"zdd: nodes=0 " stderr))
+    && not (contains ~sub:"zdd: nodes=0 " stderr));
+  (* the MIS step runs on the fully symbolic output side: its
+     maximal-box family counters land in --stats *)
+  Alcotest.(check bool) "maxbox counters printed" true
+    (contains ~sub:"zdd.maxbox: tuples=" stderr
+    && not (contains ~sub:"zdd.maxbox: tuples=0 " stderr))
 
 let test_stats_explicit_zero_zdd () =
   let code, _, stderr =
@@ -130,7 +135,12 @@ let test_zdd_trace_counters () =
   Alcotest.(check bool) "zdd counters sampled" true
     (contains ~sub:"\"zdd.nodes\"" trace
     && contains ~sub:"\"zdd.cache_hits\"" trace
-    && contains ~sub:"\"zdd.peak_unique\"" trace)
+    && contains ~sub:"\"zdd.peak_unique\"" trace);
+  Alcotest.(check bool) "maxbox counters sampled" true
+    (contains ~sub:"\"zdd.maxbox_tuples\"" trace
+    && contains ~sub:"\"zdd.maxbox_cubes\"" trace
+    && contains ~sub:"\"zdd.maxbox_maximal\"" trace
+    && contains ~sub:"\"zdd.maxbox_enumerated\"" trace)
 
 let () =
   Alcotest.run "cli"

@@ -113,6 +113,7 @@ let test_golden_transcript () =
 let test_stats_transcript () =
   Relim.Fixedpoint.reset_stats ();
   Zdd.reset_stats ();
+  Relim.Rounde.reset_stats ();
   with_daemon @@ fun sock ->
   let c = connect sock in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
@@ -120,7 +121,8 @@ let test_stats_transcript () =
     ({|{"id":1,"ok":true,"result":{"requests":1,"served_ok":0,|}
    ^ {|"served_error":0,"fixedpoint_cache":{"hits":0,"misses":0,|}
    ^ {|"hash_conflicts":0},"zdd":{"nodes":0,"cache_hits":0,|}
-   ^ {|"peak_unique":0},"store":null}}|})
+   ^ {|"peak_unique":0,"maxbox_tuples":0,"maxbox_cubes":0,|}
+   ^ {|"maxbox_maximal":0,"maxbox_enumerated":0},"store":null}}|})
     (request c {|{"id":1,"op":"stats"}|});
   (* A ZDD-path engine call moves the zdd counters; the explicit path
      (the daemon's default when RELIM_ZDD is unset) must not.  Under
@@ -135,7 +137,7 @@ let test_stats_transcript () =
       && not (contains ~sub:{|"zdd":{"nodes":0,|} stats))
   else
     check_bool "explicit step leaves zdd counters at zero" true
-      (contains ~sub:{|"zdd":{"nodes":0,"cache_hits":0,"peak_unique":0}|} stats)
+      (contains ~sub:{|"zdd":{"nodes":0,"cache_hits":0,"peak_unique":0,|} stats)
 
 (* Regression: a budget overrun inside the engine used to surface as a
    generic engine-error Failure; it is now a structured "budget" error
@@ -161,6 +163,43 @@ let test_budget_error_transcript () =
   check_string "still serving after the budget error"
     {|{"id":8,"ok":true,"result":{"pong":true}}|}
     (request c {|{"id":8,"op":"ping"}|})
+
+(* The compressed engines trip their own, distinctly named budgets;
+   those surface over the wire as the same structured "budget" error.
+   A monochromatic 21-color problem with an equality edge constraint
+   has a cheap R image (21 singleton Galois pairs) whose R̄ faces the
+   2^21 - 1 antichain: Δ·n = 63 bits is past the fully symbolic
+   envelope, so the ZDD path streams the box DFS and overruns its
+   work budget. *)
+let test_zdd_budget_error_transcript () =
+  let eqcol_21 =
+    let names = List.init 21 (fun i -> Printf.sprintf "c%d" i) in
+    let node =
+      String.concat "\n"
+        (List.map (fun c -> Printf.sprintf "%s %s %s" c c c) names)
+    in
+    let edge = String.concat "\n" (List.map (fun c -> c ^ " " ^ c) names) in
+    Relim.Parse.problem ~name:"eqcol21" ~node ~edge
+  in
+  let req =
+    let text = Relim.Serialize.to_string eqcol_21 in
+    let escaped = String.concat "\\n" (String.split_on_char '\n' text) in
+    {|{"id":21,"op":"step","problem":"|} ^ escaped ^ {|"}|}
+  in
+  let saved = Sys.getenv_opt Relim.Parctl.zdd_env_var in
+  Unix.putenv Relim.Parctl.zdd_env_var "1";
+  Fun.protect ~finally:(fun () ->
+      Unix.putenv Relim.Parctl.zdd_env_var (Option.value saved ~default:""))
+  @@ fun () ->
+  with_daemon @@ fun sock ->
+  let c = connect sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  check_string "zdd budget error, pinned bytes"
+    {|{"id":21,"ok":false,"error":{"code":"budget","budget":"Rounde.rbar: box enumeration work (zdd)","limit":5000000,"message":"budget exceeded: Rounde.rbar: box enumeration work (zdd) (limit 5000000)"}}|}
+    (request c req);
+  check_string "still serving after the zdd budget error"
+    {|{"id":22,"ok":true,"result":{"pong":true}}|}
+    (request c {|{"id":22,"op":"ping"}|})
 
 (* ------------------------------------------------------------------ *)
 (* Autopilot                                                           *)
@@ -441,6 +480,8 @@ let () =
           Alcotest.test_case "stats transcript" `Quick test_stats_transcript;
           Alcotest.test_case "budget error transcript" `Quick
             test_budget_error_transcript;
+          Alcotest.test_case "zdd budget error transcript" `Quick
+            test_zdd_budget_error_transcript;
           Alcotest.test_case "pipelining order" `Quick test_pipelining;
           Alcotest.test_case "concurrent clients" `Quick
             test_concurrent_clients;

@@ -1767,7 +1767,11 @@ let test_rbar_beyond_old_cap () =
   let l i = Alphabet.find p.Problem.alpha (Printf.sprintf "l%d" i) in
   let suffix m = Labelset.of_list (List.init (n - m) (fun k -> l (m + k))) in
   Rounde.reset_stats ();
-  let { Rounde.problem = p''; denotations } = Rounde.rbar p in
+  (* [~zdd:false] pins the explicit path: the dominance-counter assert
+     below is about the explicit scan, which the symbolic rung replaces
+     wholesale (its counters stay 0 by design — test/zdd covers that
+     rung's own counters). *)
+  let { Rounde.problem = p''; denotations } = Rounde.rbar ~zdd:false p in
   check_int "rc sets counted" n Rounde.stats.Rounde.rc_sets;
   check_int "all suffixes used" n (Problem.label_count p'');
   let pos_of s =
@@ -2349,11 +2353,13 @@ let extra_suites =
         Alcotest.test_case "expand_limit budget verdict" `Quick (fun () ->
             (* A tiny expansion budget makes the first speedup step fail
                its guard, so a not-0-round-solvable problem must come
-               back Unknown_after 0 instead of raising. *)
+               back Unknown_after 0 instead of raising.  [~zdd:false]
+               pins the explicit path: expand_limit is its guard — the
+               symbolic rung never expands, so it does not consult it. *)
             let mis =
               Parse.problem ~name:"MIS" ~node:"M M M\nP O O" ~edge:"M [PO]\nO O"
             in
-            match Upperbound.search ~max_steps:3 ~expand_limit:1. mis with
+            match Upperbound.search ~max_steps:3 ~expand_limit:1. ~zdd:false mis with
             | Upperbound.Unknown_after 0 -> ()
             | Upperbound.Unknown_after k ->
                 Alcotest.failf "budget verdict after %d step(s), expected 0" k

@@ -188,11 +188,15 @@ let antichain_problem k =
   in
   Relim.Parse.problem ~name:(Printf.sprintf "antichain%d" k) ~node ~edge
 
-(* One row = 9 pinned metrics: label counts through R and the full
-   step, the explicit-path rc-set/box counters, both 0-round deciders
-   with their witness configurations, the Lemma 15 randomized failure
-   bound, and the fixed-point verdict.  Budget overruns are themselves
-   pinned, as the (deterministic) name of the tripped budget. *)
+(* One row = 11 pinned metrics: label counts through R and the full
+   step, the explicit-path rc-set/box counters, the symbolic-engine
+   axis (the same step under ~zdd:true, pinned as "identical" plus the
+   engine's maxbox counters — the cross-engine identity of PR 10), both
+   0-round deciders with their witness configurations, the Lemma 15
+   randomized failure bound, and the fixed-point verdict.  Budget
+   overruns are themselves pinned, as the (deterministic) name of the
+   tripped budget — the two engines trip distinctly named budgets, and
+   the symbolic rung completes rows the explicit path cannot. *)
 let mega_row buf name p =
   let add metric value =
     Buffer.add_string buf (Printf.sprintf "%-21s | %-13s = %s\n" name metric value)
@@ -203,22 +207,64 @@ let mega_row buf name p =
          string_of_int
            (Relim.Problem.label_count (Relim.Rounde.r p).Relim.Rounde.problem)));
   Relim.Rounde.reset_stats ();
-  (match
-     Relim.Rounde.step ~expand_limit:mega_expand ~rc_limit:mega_rc ~pool:seq
-       ~zdd:false p
-   with
-  | { Relim.Rounde.problem = stepped; _ } ->
-      (* Snapshot before anything else touches the engine (see above). *)
-      let rc = Relim.Rounde.stats.Relim.Rounde.rc_sets in
-      let boxes = Relim.Rounde.stats.Relim.Rounde.boxes_emitted in
-      add "labels_step" (string_of_int (Relim.Problem.label_count stepped));
+  let explicit =
+    match
+      Relim.Rounde.step ~expand_limit:mega_expand ~rc_limit:mega_rc ~pool:seq
+        ~zdd:false p
+    with
+    | { Relim.Rounde.problem = stepped; denotations } ->
+        (* Snapshot before anything else touches the engine (see
+           above). *)
+        Ok
+          ( Relim.Serialize.to_string stepped,
+            Array.to_list denotations,
+            Relim.Rounde.stats.Relim.Rounde.rc_sets,
+            Relim.Rounde.stats.Relim.Rounde.boxes_emitted )
+    | exception Relim.Budget.Budget_exceeded { budget; _ } -> Error budget
+  in
+  (match explicit with
+  | Ok (stepped, _, rc, boxes) ->
+      add "labels_step"
+        (string_of_int
+           (Relim.Problem.label_count (Relim.Serialize.of_string stepped)));
       add "rc_sets" (string_of_int rc);
       add "boxes_emitted" (string_of_int boxes)
-  | exception Relim.Budget.Budget_exceeded { budget; _ } ->
+  | Error budget ->
       let b = Printf.sprintf "budget(%s)" budget in
       add "labels_step" b;
       add "rc_sets" b;
       add "boxes_emitted" b);
+  (* Symbolic axis: the same step on the ZDD engine ladder.  Where both
+     engines complete, problems, denotations and rc_sets must agree
+     byte-for-byte; engine_counters ([boxes_emitted], [maxbox_*]) are
+     the documented per-engine exceptions, so they are pinned
+     separately rather than compared. *)
+  Relim.Rounde.reset_stats ();
+  (match
+     Relim.Rounde.step ~expand_limit:mega_expand ~rc_limit:mega_rc ~pool:seq
+       ~zdd:true p
+   with
+  | { Relim.Rounde.problem = zstepped; denotations = zdenots } ->
+      let s = Relim.Rounde.stats in
+      let zrc = s.Relim.Rounde.rc_sets in
+      let maxbox =
+        Printf.sprintf "%d/%d/%d/%d" s.Relim.Rounde.maxbox_tuples
+          s.Relim.Rounde.maxbox_cubes s.Relim.Rounde.maxbox_maximal
+          s.Relim.Rounde.maxbox_enumerated
+      in
+      (match explicit with
+      | Ok (stepped, denots, rc, _) ->
+          if
+            Relim.Serialize.to_string zstepped = stepped
+            && Array.to_list zdenots = denots
+            && zrc = rc
+          then add "zdd_step" "identical"
+          else add "zdd_step" "MISMATCH"
+      | Error _ -> add "zdd_step" "completes");
+      add "zdd_maxbox" maxbox
+  | exception Relim.Budget.Budget_exceeded { budget; _ } ->
+      add "zdd_step" (Printf.sprintf "budget(%s)" budget);
+      add "zdd_maxbox" "-");
   let witness = function
     | Some m ->
         (* Multiset.to_string is one label per line; fold to one line. *)

@@ -304,20 +304,24 @@ let mis3 =
 
 let so3 = Parse.problem ~name:"so" ~node:"H T T\nH H T\nH H H" ~edge:"H T"
 
+(* [boxes_emitted] is deliberately absent: since PR 10 the fully
+   symbolic path emits only the surviving boxes, so the counter is
+   engine-dependent (see Rounde.rbar).  [rc_sets] stays in the
+   contract — the symbolic path counts the same right-closed family
+   via [Diagram.right_closed_count] without materializing it. *)
 type outcome =
-  | Done of string * Labelset.t list * int * int
-      (** serialized problem, denotations, rc_sets, boxes_emitted *)
+  | Done of string * Labelset.t list * int
+      (** serialized problem, denotations, rc_sets *)
   | Tripped of string
 
-let run_step ~zdd p =
+let run_step ?rc_limit ~zdd p =
   Rounde.reset_stats ();
-  match Rounde.step ~zdd p with
+  match Rounde.step ?rc_limit ~zdd p with
   | { Rounde.problem; denotations } ->
       Done
         ( Serialize.to_string problem,
           Array.to_list denotations,
-          Rounde.stats.Rounde.rc_sets,
-          Rounde.stats.Rounde.boxes_emitted )
+          Rounde.stats.Rounde.rc_sets )
   | exception Budget.Budget_exceeded { budget; _ } -> Tripped budget
 
 let run_rbar ?rc_limit ~zdd p =
@@ -327,8 +331,7 @@ let run_rbar ?rc_limit ~zdd p =
       Done
         ( Serialize.to_string problem,
           Array.to_list denotations,
-          Rounde.stats.Rounde.rc_sets,
-          Rounde.stats.Rounde.boxes_emitted )
+          Rounde.stats.Rounde.rc_sets )
   | exception Budget.Budget_exceeded { budget; _ } -> Tripped budget
 
 let check_parity ~what run p =
@@ -339,22 +342,40 @@ let check_parity ~what run p =
   check_bool (what ^ ": byte-identical") true (explicit = zdd)
 
 let test_step_parity_presets () =
-  check_parity ~what:"mis3 step" run_step mis3;
-  check_parity ~what:"so3 step" run_step so3;
+  check_parity ~what:"mis3 step" (fun ~zdd p -> run_step ~zdd p) mis3;
+  (* the MIS step runs fully symbolically: pin its engine-dependent
+     counters.  27 allowed tuples, 167 valid boxes (arrangements
+     counted), 8 maximal arrangements, 4 canonical maximal boxes —
+     and only those 4 survivors were ever materialized *)
+  ignore (run_step ~zdd:true mis3);
+  let s = Rounde.stats in
+  check_int "mis3 maxbox tuples" 27 s.Rounde.maxbox_tuples;
+  check_int "mis3 maxbox cubes" 167 s.Rounde.maxbox_cubes;
+  check_int "mis3 maxbox maximal" 8 s.Rounde.maxbox_maximal;
+  check_int "mis3 maxbox enumerated" 4 s.Rounde.maxbox_enumerated;
+  check_int "mis3 emits only survivors" 4 s.Rounde.boxes_emitted;
+  check_parity ~what:"so3 step" (fun ~zdd p -> run_step ~zdd p) so3;
   (* two iterated speedup steps of MIS: the diagrams get irregular *)
   let p1 = (Rounde.step mis3).Rounde.problem in
-  check_parity ~what:"mis3 step^2" run_step p1;
-  (* the third speedup step is past the explicit wall — pin how it
-     reports: the DFS drowns in box enumeration work.  (The ZDD path
-     survives the search only to trip the output-alphabet-width budget
-     after a minutes-long maximal-box filter, so that side is not
-     exercised here.) *)
+  check_parity ~what:"mis3 step^2" (fun ~zdd p -> run_step ~zdd p) p1;
+  (* the third speedup step is past the explicit wall — pin how each
+     engine reports.  The DFS drowns in box enumeration work; the
+     compressed path enumerates the boxes cheaply (the R̄ alphabet here
+     is 46 labels wide, past the Δ·n ≤ 62 slotted-filter envelope) and
+     trips on the quadratic dominance scan instead — the scan-work
+     budget that turned a minutes-long discarded scan into an instant
+     verdict in PR 10. *)
   let p2 = (Rounde.step p1).Rounde.problem in
-  match run_step ~zdd:false p2 with
+  (match run_step ~zdd:false p2 with
   | Done _ -> Alcotest.fail "mis3 step^3 should exceed the explicit budget"
   | Tripped budget ->
       check_bool "explicit: box work" true
-        (contains ~sub:"box enumeration work" budget)
+        (contains ~sub:"box enumeration work" budget));
+  match run_step ~zdd:true p2 with
+  | Done _ -> Alcotest.fail "mis3 step^3 should exceed the scan budget"
+  | Tripped budget ->
+      check_bool "zdd: maximal box scan work" true
+        (contains ~sub:"maximal box scan work (zdd)" budget)
 
 let test_rbar_parity_families () =
   List.iter
@@ -371,6 +392,47 @@ let test_rbar_parity_families () =
         (fun ~zdd p -> run_rbar ~zdd p)
         (chain_problem n))
     [ 4; 10; 24 ]
+
+(* every library preset the pipeline ships, at the Δs the sweep grids
+   use: the full step must be byte-identical across engines on all of
+   them (the symbolic rung handles the exact-diagram ones, the
+   streaming rung the rest — which rung ran is invisible here, as it
+   must be) *)
+let test_step_parity_all_presets () =
+  let presets =
+    [
+      Lcl.Encodings.mis ~delta:2;
+      Lcl.Encodings.mis ~delta:3;
+      Lcl.Encodings.sinkless_orientation ~delta:3;
+      Lcl.Encodings.sinkless_orientation ~delta:4;
+      Lcl.Encodings.maximal_matching ~delta:2;
+      Lcl.Encodings.maximal_matching ~delta:3;
+      Lcl.Encodings.coloring ~delta:3 ~colors:3;
+      Lcl.Encodings.coloring ~delta:3 ~colors:4;
+      Lcl.Encodings.weak_2_coloring ~delta:3;
+      Core.Family.pi { Core.Family.delta = 3; a = 2; x = 1 };
+      Core.Family.pi { Core.Family.delta = 4; a = 3; x = 2 };
+      Core.Family.pi_plus { Core.Family.delta = 4; a = 3; x = 1 };
+      Core.Family.pi_plus { Core.Family.delta = 5; a = 4; x = 2 };
+    ]
+  in
+  List.iter
+    (fun p ->
+      let what = Printf.sprintf "%s step" p.Problem.name in
+      let explicit = run_step ~zdd:false p in
+      let zdd = run_step ~zdd:true p in
+      (match explicit with
+      | Done _ -> ()
+      | Tripped b ->
+          (* the output-alphabet-width budget is engine-independent
+             (both paths produce the same boxes), so a preset past it —
+             4-coloring at Δ=3 — must trip identically on both *)
+          check_bool
+            (what ^ ": only the width budget may trip")
+            true
+            (contains ~sub:"output alphabet width" b));
+      check_bool (what ^ ": byte-identical") true (explicit = zdd))
+    presets
 
 let rbar_parity_qcheck =
   [
@@ -389,7 +451,209 @@ let rbar_parity_qcheck =
             | Tripped _ -> true
             | Done _ as explicit ->
                 explicit = run_rbar ~rc_limit:500 ~zdd:true p'));
+    (* the same contract one level up: a full speedup step R̄ ∘ R *)
+    QCheck.Test.make ~name:"step parity on random edge problems" ~count:40
+      gen_edge_problem (fun p ->
+        match run_step ~rc_limit:500 ~zdd:false p with
+        | exception Failure _ -> true (* dead node constraint: no R image *)
+        | Tripped _ -> true
+        | Done _ as explicit -> explicit = run_step ~rc_limit:500 ~zdd:true p);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Slotted (multi-slot) families vs brute force                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Δ = 3 slots of 3 labels each: small enough to enumerate all 7³
+   boxes and all 3³ transversal tuples explicitly, wide enough to
+   exercise every slot boundary. *)
+let lay3x3 = Zdd.layout ~slots:3 ~width:3
+
+let mgr_for lay = Zdd.create ~nbits:(Zdd.layout_bits lay) ()
+
+let gen_slot_masks =
+  QCheck.(
+    map
+      (fun (a, b, c) -> [| a; b; c |])
+      (triple (int_bound 7) (int_bound 7) (int_bound 7)))
+
+(* a relation T as an explicit set of transversal tuples (one label
+   per slot, labels in 0..2) *)
+let gen_tuples =
+  QCheck.(
+    list_of_size
+      Gen.(0 -- 8)
+      (triple (int_bound 2) (int_bound 2) (int_bound 2)))
+
+let encode_tuple lay (l0, l1, l2) =
+  Zdd.encode_slots lay [| 1 lsl l0; 1 lsl l1; 1 lsl l2 |]
+
+let zdd_of_tuples mgr lay tuples =
+  List.fold_left
+    (fun acc t -> Zdd.union mgr acc (Zdd.of_mask mgr (encode_tuple lay t)))
+    Zdd.bot tuples
+
+let bits mask = List.filter (fun l -> mask land (1 lsl l) <> 0) [ 0; 1; 2 ]
+
+(* all transversals of a 3-slot box, as tuples *)
+let transversals masks =
+  List.concat_map
+    (fun l0 ->
+      List.concat_map
+        (fun l1 -> List.map (fun l2 -> (l0, l1, l2)) (bits masks.(2)))
+        (bits masks.(1)))
+    (bits masks.(0))
+
+let cofactor_qcheck =
+  let gen_family =
+    QCheck.(map IntSet.of_list (list_of_size Gen.(0 -- 12) (int_bound 255)))
+  in
+  [
+    QCheck.Test.make ~name:"cofactor = reference model" ~count:200
+      QCheck.(pair (int_bound 7) gen_family)
+      (fun (l, fam) ->
+        let mgr = Zdd.create ~nbits:8 () in
+        let z = zdd_of_family mgr fam in
+        let expect =
+          IntSet.filter_map
+            (fun x ->
+              if x land (1 lsl l) <> 0 then Some (x land lnot (1 lsl l))
+              else None)
+            fam
+        in
+        IntSet.equal expect (family_of_zdd mgr (Zdd.cofactor mgr l z)));
+  ]
+
+let test_slotted_encoding () =
+  let lay = lay3x3 in
+  check_int "layout bits" 9 (Zdd.layout_bits lay);
+  (* slot 0 is the most significant block *)
+  check_int "slot 0 label 0 bit" 6 (Zdd.slot_bit lay ~slot:0 ~label:0);
+  check_int "slot 2 label 2 bit" 2 (Zdd.slot_bit lay ~slot:2 ~label:2);
+  check_int "packing" ((0b101 lsl 6) lor (0b001 lsl 3) lor 0b110)
+    (Zdd.encode_slots lay [| 0b101; 0b001; 0b110 |]);
+  (* out-of-envelope layouts are rejected at construction *)
+  (match Zdd.layout ~slots:21 ~width:3 with
+  | _ -> Alcotest.fail "63-bit layout must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let slotted_qcheck =
+  [
+    QCheck.Test.make ~name:"encode/decode roundtrip, numeric = lex order"
+      ~count:200
+      QCheck.(pair gen_slot_masks gen_slot_masks)
+      (fun (a, b) ->
+        let lay = lay3x3 in
+        let ea = Zdd.encode_slots lay a and eb = Zdd.encode_slots lay b in
+        Zdd.decode_slots lay ea = a
+        && compare ea eb = compare (Array.to_list a) (Array.to_list b));
+    QCheck.Test.make ~name:"one_per_slot = brute-force transversals"
+      ~count:200 gen_slot_masks (fun masks ->
+        let lay = lay3x3 in
+        let mgr = mgr_for lay in
+        let expect =
+          IntSet.of_list
+            (List.map (encode_tuple lay) (transversals masks))
+        in
+        IntSet.equal expect
+          (family_of_zdd mgr (Zdd.one_per_slot mgr lay masks)));
+    QCheck.Test.make ~name:"Zdd.boxes = brute-force valid boxes" ~count:150
+      gen_tuples (fun tuples ->
+        let lay = lay3x3 in
+        let mgr = mgr_for lay in
+        let t = zdd_of_tuples mgr lay tuples in
+        let allowed = List.sort_uniq compare tuples in
+        (* reference: every all-non-empty box whose transversals all
+           lie in the relation *)
+        let expect = ref IntSet.empty in
+        for m0 = 1 to 7 do
+          for m1 = 1 to 7 do
+            for m2 = 1 to 7 do
+              let masks = [| m0; m1; m2 |] in
+              if
+                List.for_all
+                  (fun tu -> List.mem tu allowed)
+                  (transversals masks)
+              then
+                expect :=
+                  IntSet.add (Zdd.encode_slots lay masks) !expect
+            done
+          done
+        done;
+        IntSet.equal !expect (family_of_zdd mgr (Zdd.boxes mgr lay t)));
+    (* the tentpole theorem: on a permutation-closed slotted family,
+       Coudert maximal-set extraction answers exactly the box-dominance
+       verdict (∃ an injective matching of the box's slots into
+       supersets ⟺ ∃ a slot permutation σ with bᵢ ⊆ σ(c)ᵢ ⟺ strict
+       encoding containment) — no transportation matching needed *)
+    QCheck.Test.make ~name:"slotted maximal = permutation dominance"
+      ~count:150
+      QCheck.(
+        list_of_size
+          Gen.(1 -- 5)
+          (map
+             (fun (a, b, c) -> [| a; b; c |])
+             (triple (int_range 1 7) (int_range 1 7) (int_range 1 7))))
+      (fun boxes ->
+        let lay = lay3x3 in
+        let mgr = mgr_for lay in
+        let perms =
+          [
+            [| 0; 1; 2 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |];
+            [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |];
+          ]
+        in
+        let permute p c = Array.init 3 (fun i -> c.(p.(i))) in
+        (* the orbit closure: all slot arrangements of all boxes *)
+        let fam =
+          List.fold_left
+            (fun acc c ->
+              List.fold_left
+                (fun acc p ->
+                  Zdd.union mgr acc
+                    (Zdd.of_mask mgr (Zdd.encode_slots lay (permute p c))))
+                acc perms)
+            Zdd.bot boxes
+        in
+        let maxf = Zdd.maximal mgr fam in
+        let canonical b =
+          let s = Array.copy b in
+          Array.sort compare s;
+          s
+        in
+        let subset x y = x land y = x in
+        (* reference verdict by direct permutation matching *)
+        let dominated b =
+          List.exists
+            (fun c ->
+              List.exists
+                (fun p ->
+                  let cp = permute p c in
+                  Array.for_all2 subset b cp && b <> cp)
+                perms)
+            boxes
+        in
+        List.for_all
+          (fun b ->
+            let cb = canonical b in
+            Zdd.mem mgr maxf (Zdd.encode_slots lay cb)
+            = not (dominated cb))
+          boxes);
+  ]
+
+let test_boxes_work_limit () =
+  (* the construction budget trips as Zdd.Limit with the realized
+     count, which Rounde translates into its budget payload *)
+  let lay = Zdd.layout ~slots:3 ~width:6 in
+  let mgr = mgr_for lay in
+  let full = [| 0b111111; 0b111111; 0b111111 |] in
+  let t = Zdd.one_per_slot mgr lay full in
+  match Zdd.boxes ~work_limit:5 mgr lay t with
+  | _ -> Alcotest.fail "expected Zdd.Limit"
+  | exception Zdd.Limit { what; limit; realized } ->
+      check Alcotest.string "budget name" "Zdd.boxes: construction work" what;
+      check_bool "limit echoed" true (limit = 5.);
+      check_bool "realized at the limit" true (realized >= 5)
 
 (* ------------------------------------------------------------------ *)
 (* Breaking the Δ wall                                                 *)
@@ -407,16 +671,40 @@ let test_wall_col18 () =
   (* ZDD path: completes, and R̄(col_k) = col_k *)
   match run_rbar ~zdd:true p with
   | Tripped budget -> Alcotest.failf "col18 tripped on the zdd path: %s" budget
-  | Done (_, denotations, rc_sets, boxes) ->
+  | Done (_, denotations, rc_sets) ->
       check_int "rc family counted in full" ((1 lsl 18) - 1) rc_sets;
-      check_int "one box per color" 18 boxes;
+      check_int "one box per color" 18 Rounde.stats.Rounde.boxes_emitted;
       check_int "singleton denotations" 18 (List.length denotations)
 
-let test_wall_zdd_budget_name () =
-  (* one past the new wall: the zdd path trips its own budget, under a
-     distinct name so bench records can tell the two walls apart *)
-  match run_rbar ~zdd:true (col_problem 19) with
-  | Done _ -> Alcotest.fail "col19 should exceed the zdd work budget"
+let test_wall_col19_symbolic () =
+  (* one past the PR 8 wall: the streaming engine used to trip "box
+     enumeration work (zdd)" here.  Δ·n = 57 ≤ 62, so the fully
+     symbolic output side takes over and the instance completes — the
+     family of 2^19 - 1 right-closed sets and the 19-fold tuple
+     relation are never materialized. *)
+  let p = col_problem 19 in
+  (match run_rbar ~zdd:false p with
+  | Done _ -> Alcotest.fail "col19 must trip the explicit rc budget"
+  | Tripped budget ->
+      check_bool "explicit still trips the rc budget" true
+        (contains ~sub:"right-closed" budget));
+  match run_rbar ~zdd:true p with
+  | Tripped budget -> Alcotest.failf "col19 tripped on the zdd path: %s" budget
+  | Done (_, denotations, rc_sets) ->
+      check_int "rc family counted in full" ((1 lsl 19) - 1) rc_sets;
+      check_int "singleton denotations" 19 (List.length denotations);
+      let s = Rounde.stats in
+      check_int "allowed tuples" 19 s.Rounde.maxbox_tuples;
+      check_int "valid cubes" 19 s.Rounde.maxbox_cubes;
+      check_int "maximal cubes" 19 s.Rounde.maxbox_maximal;
+      check_int "canonical boxes" 19 s.Rounde.maxbox_enumerated
+
+let test_wall_col21_streaming () =
+  (* past the symbolic envelope (Δ·n = 63 > 62 bits): the engine falls
+     back to the streaming DFS, whose work budget trips under its
+     distinct name so bench records can tell the walls apart *)
+  match run_rbar ~zdd:true (col_problem 21) with
+  | Done _ -> Alcotest.fail "col21 should exceed the zdd work budget"
   | Tripped budget ->
       check_bool "distinct budget name" true
         (contains ~sub:"box enumeration work (zdd)" budget)
@@ -490,16 +778,27 @@ let () =
       ( "engine parity",
         [
           Alcotest.test_case "presets" `Quick test_step_parity_presets;
+          Alcotest.test_case "all library presets" `Slow
+            test_step_parity_all_presets;
           Alcotest.test_case "chain and coloring families" `Quick
             test_rbar_parity_families;
         ]
         @ List.map Qseed.to_alcotest rbar_parity_qcheck );
+      ( "slotted families",
+        [
+          Alcotest.test_case "encoding layout" `Quick test_slotted_encoding;
+          Alcotest.test_case "boxes work limit payload" `Quick
+            test_boxes_work_limit;
+        ]
+        @ List.map Qseed.to_alcotest (cofactor_qcheck @ slotted_qcheck) );
       ( "the Δ wall",
         [
           Alcotest.test_case "col18: explicit trips, zdd completes" `Slow
             test_wall_col18;
-          Alcotest.test_case "col19: distinct zdd budget" `Slow
-            test_wall_zdd_budget_name;
+          Alcotest.test_case "col19: symbolic output side completes" `Slow
+            test_wall_col19_symbolic;
+          Alcotest.test_case "col21: streaming fallback budget" `Slow
+            test_wall_col21_streaming;
         ] );
       ( "plumbing",
         [
